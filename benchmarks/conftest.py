@@ -1,0 +1,25 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation tables or figures
+on a scaled-down workload (so the whole harness runs in minutes on a laptop)
+and prints the regenerated rows, mirroring the artifact's ``make results``
+workflow.  Scale can be raised via the ``REPRO_BENCH_SCALE`` environment
+variable (``tiny`` / ``small`` / ``medium``).
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """Workload scale used by the benchmark harness."""
+    return os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+
+@pytest.fixture(scope="session")
+def bench_categories():
+    """Benchmark categories exercised by the compilation benchmarks."""
+    value = os.environ.get("REPRO_BENCH_CATEGORIES", "qft,tof,alu,ripple_add")
+    return [item.strip() for item in value.split(",") if item.strip()]

@@ -1,0 +1,21 @@
+"""Benchmark E6 — Figure 12: topology-aware routing overhead."""
+
+from repro.experiments.common import format_rows
+from repro.experiments.figures import fig12_routing_overhead
+
+
+def test_fig12_routing_overhead(benchmark, bench_scale, bench_categories):
+    rows = benchmark.pedantic(
+        fig12_routing_overhead,
+        kwargs={"scale": bench_scale, "categories": bench_categories, "topologies": ("chain", "grid")},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_rows(rows, title=f"Figure 12 (scale={bench_scale}): routing overhead"))
+    for row in rows:
+        # Mirroring-SABRE never exceeds plain SABRE on routed #2Q, and the
+        # SU(4) flow has no larger relative overhead than the CNOT flow.
+        assert row["chain_su4_mirroring_2q"] <= row["chain_su4_sabre_2q"]
+        assert row["grid_su4_mirroring_2q"] <= row["grid_su4_sabre_2q"]
+        assert row["chain_su4_overhead"] <= row["chain_cnot_overhead"] + 0.25

@@ -1,0 +1,21 @@
+"""Benchmark E7 — Figure 13: calibration efficiency (distinct SU(4) counts)."""
+
+from repro.experiments.common import format_rows
+from repro.experiments.figures import fig13_calibration
+
+
+def test_fig13_calibration(benchmark, bench_scale, bench_categories):
+    rows = benchmark.pedantic(
+        fig13_calibration,
+        kwargs={"scale": bench_scale, "categories": bench_categories},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_rows(rows, title=f"Figure 13 (scale={bench_scale}): distinct SU(4) gates"))
+    for row in rows:
+        # ReQISC-Eff keeps the calibration load small; Full trades extra
+        # distinct gates for a lower (or equal) #2Q.
+        assert row["eff_distinct"] <= 12
+        assert row["full_2q"] <= row["eff_2q"]
+        assert row["full_distinct"] >= row["eff_distinct"] - 2

@@ -1,0 +1,25 @@
+"""Benchmark E8 — Figure 14: ablation against the SU(4) baseline variants."""
+
+from repro.experiments.common import format_rows
+from repro.experiments.figures import fig14_ablation
+
+
+def test_fig14_ablation(benchmark, bench_scale):
+    categories = ["tof", "alu", "qft"]
+    rows = benchmark.pedantic(
+        fig14_ablation,
+        kwargs={
+            "scale": bench_scale,
+            "categories": categories,
+            "compilers": ["qiskit-su4", "tket-su4", "reqisc-nc", "reqisc-full"],
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_rows(rows, title=f"Figure 14 (scale={bench_scale}): ablation, #2Q reduction (%)"))
+    average = lambda key: sum(row[key] for row in rows) / len(rows)
+    # ReQISC-Full matches or beats the naive SU(4) variants on average and
+    # never falls behind the no-compacting variant.
+    assert average("reqisc-full_2q_red") >= average("qiskit-su4_2q_red") - 5.0
+    assert average("reqisc-full_2q_red") >= average("reqisc-nc_2q_red") - 1e-9

@@ -1,0 +1,26 @@
+"""Benchmark E9 — Figure 15: program fidelity and duration under noise."""
+
+from repro.experiments.common import format_rows
+from repro.experiments.figures import fig15_fidelity
+
+
+def test_fig15_fidelity(benchmark):
+    rows = benchmark.pedantic(
+        fig15_fidelity,
+        kwargs={
+            "scale": "tiny",
+            "categories": ["tof", "alu", "qft"],
+            "topologies": ("logical", "chain"),
+            "base_error_rate": 3e-3,
+            "num_trajectories": 100,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_rows(rows, title="Figure 15: Hellinger fidelity / pulse duration"))
+    for row in rows:
+        # ReQISC executes faster and at least as faithfully as the baseline.
+        assert row["logical_reqisc_duration"] < row["logical_baseline_duration"]
+        assert row["logical_reqisc_fidelity"] >= row["logical_baseline_fidelity"] - 0.08
+        assert row["chain_reqisc_duration"] < row["chain_baseline_duration"]

@@ -1,0 +1,19 @@
+"""Benchmark E10 — Figure 16: compilation error and compile latency."""
+
+from repro.experiments.common import format_rows
+from repro.experiments.figures import fig16_reliability
+
+
+def test_fig16_reliability(benchmark, bench_categories):
+    rows = benchmark.pedantic(
+        fig16_reliability,
+        kwargs={"scale": "tiny", "categories": bench_categories, "max_qubits": 8},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_rows(rows, title="Figure 16: compilation error / latency (s)"))
+    for row in rows:
+        for name in ("qiskit-like", "tket-like", "reqisc-eff", "reqisc-full"):
+            assert row[f"{name}_error"] < 1e-5
+            assert row[f"{name}_seconds"] < 120.0

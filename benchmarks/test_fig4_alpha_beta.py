@@ -1,0 +1,23 @@
+"""Benchmark E4 — Figure 4: (alpha, beta) solution profiling for SWAP under XX."""
+
+from repro.experiments.figures import fig4_alpha_beta_profile
+
+
+def test_fig4_alpha_beta_profile(benchmark):
+    profile = benchmark.pedantic(
+        fig4_alpha_beta_profile, kwargs={"resolution": 25}, rounds=1, iterations=1
+    )
+    print()
+    print(
+        "Figure 4: SWAP under XX coupling — tau={tau:.4f}, subscheme={sub}, "
+        "near-solutions on grid={n}, chosen (Omega1, Omega2, delta)=({o1:.4f}, {o2:.4f}, {d:.4f})".format(
+            tau=profile["tau"],
+            sub=profile["subscheme"],
+            n=profile["num_near_solutions"],
+            o1=profile["solution"]["omega1"],
+            o2=profile["solution"]["omega2"],
+            d=profile["solution"]["delta"],
+        )
+    )
+    assert profile["num_near_solutions"] >= 1
+    assert profile["landscape"].max() > 0.1

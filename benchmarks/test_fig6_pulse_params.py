@@ -1,0 +1,21 @@
+"""Benchmark E5 — Figure 6: gate-time landscape and drive amplitudes."""
+
+import math
+
+from repro.experiments.common import format_rows
+from repro.experiments.figures import fig6_pulse_parameters
+
+
+def test_fig6_pulse_parameters(benchmark):
+    rows = benchmark.pedantic(
+        fig6_pulse_parameters, kwargs={"couplings": ["xy", "xx"]}, rounds=1, iterations=1
+    )
+    print()
+    print(format_rows(rows, title="Figure 6: pulse parameters of representative gates"))
+    by_key = {(row["coupling"], row["gate"]): row for row in rows}
+    assert by_key[("xy", "cnot")]["duration"] == round(math.pi / 2, 10) or abs(
+        by_key[("xy", "cnot")]["duration"] - math.pi / 2
+    ) < 1e-9
+    assert by_key[("xy", "iswap")]["A1"] < 1e-6
+    assert by_key[("xx", "cnot")]["duration"] < by_key[("xy", "cnot")]["duration"]
+    assert by_key[("xy", "swap")]["A1"] > 0.0

@@ -1,0 +1,14 @@
+"""Benchmark E1 — Table 1: benchmark-suite characteristics."""
+
+from repro.experiments.common import format_rows
+from repro.experiments.tables import table1_suite_characteristics
+
+
+def test_table1_suite_characteristics(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        table1_suite_characteristics, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    print(format_rows(rows, title=f"Table 1 (scale={bench_scale}): suite characteristics"))
+    assert len(rows) == 17
+    assert all(row["num_2q"] > 0 for row in rows)

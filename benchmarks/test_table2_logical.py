@@ -1,0 +1,25 @@
+"""Benchmark E2 — Table 2: logical-level compilation comparison."""
+
+from repro.experiments.common import format_rows
+from repro.experiments.tables import table2_logical_compilation
+
+
+def test_table2_logical_compilation(benchmark, bench_scale, bench_categories):
+    rows = benchmark.pedantic(
+        table2_logical_compilation,
+        kwargs={
+            "scale": bench_scale,
+            "categories": bench_categories,
+            "compilers": ["qiskit-like", "tket-like", "reqisc-eff", "reqisc-full"],
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_rows(rows, title=f"Table 2 (scale={bench_scale}): reduction rates (%)"))
+    for row in rows:
+        # The headline shape of Table 2: ReQISC reduces #2Q and duration more
+        # than the CNOT-ISA baselines on every category.
+        assert row["reqisc-eff_2q_red"] >= row["qiskit-like_2q_red"] - 1e-9
+        assert row["reqisc-full_2q_red"] >= row["reqisc-eff_2q_red"] - 1e-9
+        assert row["reqisc-eff_dur_red"] >= 30.0

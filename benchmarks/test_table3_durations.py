@@ -1,0 +1,19 @@
+"""Benchmark E3 — Table 3: Haar-random synthesis cost per ISA and coupling."""
+
+from repro.experiments.common import format_rows
+from repro.experiments.tables import table3_synthesis_cost
+
+
+def test_table3_synthesis_cost(benchmark):
+    rows = benchmark.pedantic(
+        table3_synthesis_cost, kwargs={"num_samples": 800, "seed": 0}, rounds=1, iterations=1
+    )
+    print()
+    print(format_rows(rows, title="Table 3: synthesis cost tau (units of 1/g)"))
+    by_key = {(row["coupling"], row["basis"]): row for row in rows}
+    # Paper: 6.664 -> 1.341 (XY), 1.178 (XX); SU(4) beats every fixed basis.
+    assert by_key[("xy", "cnot-conventional")]["tau_average"] > 6.6
+    assert 1.25 < by_key[("xy", "su4")]["tau_average"] < 1.45
+    assert 1.10 < by_key[("xx", "su4")]["tau_average"] < 1.26
+    speedup = by_key[("xy", "cnot-conventional")]["tau_average"] / by_key[("xy", "su4")]["tau_average"]
+    assert speedup > 4.5

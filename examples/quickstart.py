@@ -1,0 +1,50 @@
+"""Quickstart: compile a small program with ReQISC and inspect the result.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from repro import CnotBaselineCompiler, CouplingHamiltonian, QuantumCircuit, ReQISCCompiler
+from repro.circuits.metrics import circuit_duration, cnot_isa_duration_model
+from repro.linalg.weyl import canonical_gate
+from repro.microarch.durations import su4_duration_model
+from repro.microarch.scheme import GenAshNScheme
+
+
+def main() -> None:
+    # A small reversible program: a Toffoli cascade with some single-qubit gates.
+    program = QuantumCircuit(4, "quickstart")
+    program.h(0)
+    program.ccx(0, 1, 2)
+    program.cx(2, 3)
+    program.ccx(1, 2, 3)
+    program.t(3)
+    program.ccx(0, 1, 2)
+
+    coupling = CouplingHamiltonian.xy(1.0)
+
+    baseline = CnotBaselineCompiler(name="qiskit-like").compile(program)
+    reqisc = ReQISCCompiler(mode="eff", coupling=coupling).compile(program)
+
+    print("== Logical-level compilation ==")
+    print(f"baseline (CNOT ISA):   #2Q = {baseline.num_two_qubit_gates:3d}  "
+          f"Depth2Q = {baseline.two_qubit_depth:3d}  "
+          f"T = {circuit_duration(baseline.circuit, cnot_isa_duration_model()):7.2f} / g")
+    print(f"ReQISC-Eff (SU(4) ISA): #2Q = {reqisc.num_two_qubit_gates:3d}  "
+          f"Depth2Q = {reqisc.two_qubit_depth:3d}  "
+          f"T = {circuit_duration(reqisc.circuit, su4_duration_model(coupling)):7.2f} / g")
+    print(f"distinct SU(4) gates to calibrate: {reqisc.distinct_two_qubit_gates}")
+
+    # Lower one of the compiled SU(4) instructions to pulse parameters.
+    scheme = GenAshNScheme(coupling)
+    first_can = next(instr for instr in reqisc.circuit if instr.gate.name == "can")
+    pulse = scheme.compile_gate(tuple(first_can.gate.params))
+    print("\n== genAshN pulse program for the first Can gate ==")
+    print(f"coordinates  : {tuple(round(c, 4) for c in pulse.target_coordinates)}")
+    print(f"duration     : {pulse.tau:.4f} / g   (subscheme: {pulse.subscheme.value})")
+    print(f"drives       : Omega1={pulse.omega1:.4f}, Omega2={pulse.omega2:.4f}, delta={pulse.delta:.4f}")
+    target = canonical_gate(*pulse.target_coordinates)
+    print(f"realization infidelity vs Can(x,y,z): {pulse.infidelity(target):.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""ReQISC reproduction package.
+
+This package reproduces the system described in *Reconfigurable Quantum
+Instruction Set Computers for High Performance Attainable on Hardware*
+(ASPLOS 2026): the genAshN time-optimal SU(4) microarchitecture and the
+Regulus SU(4)-native compilation framework, together with every substrate
+they depend on (circuit IR, simulators, synthesis engines, routing,
+workload generators and the experiment harness).
+
+The public API is re-exported lazily so that importing ``repro`` stays cheap
+and sub-packages can be used independently::
+
+    from repro import QuantumCircuit, ReQISCCompiler, CouplingHamiltonian
+    from repro import GenAshNScheme, weyl_coordinates
+"""
+
+from importlib import import_module
+from typing import Any
+
+__version__ = "1.0.0"
+
+#: Mapping from public attribute name to "module:attribute" location.
+_LAZY_EXPORTS = {
+    "QuantumCircuit": "repro.circuits.circuit:QuantumCircuit",
+    "gates": "repro.gates.standard:",
+    "KAKDecomposition": "repro.linalg.weyl:KAKDecomposition",
+    "canonical_gate": "repro.linalg.weyl:canonical_gate",
+    "kak_decompose": "repro.linalg.weyl:kak_decompose",
+    "weyl_coordinates": "repro.linalg.weyl:weyl_coordinates",
+    "CouplingHamiltonian": "repro.microarch.hamiltonian:CouplingHamiltonian",
+    "GenAshNScheme": "repro.microarch.scheme:GenAshNScheme",
+    "PulseProgram": "repro.microarch.scheme:PulseProgram",
+    "ReQISCCompiler": "repro.compiler.reqisc:ReQISCCompiler",
+    "CompilationResult": "repro.compiler.reqisc:CompilationResult",
+    "CnotBaselineCompiler": "repro.compiler.baselines:CnotBaselineCompiler",
+    "Su4FusionBaselineCompiler": "repro.compiler.baselines:Su4FusionBaselineCompiler",
+}
+
+__all__ = sorted(_LAZY_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        target = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    module_name, _, attribute = target.partition(":")
+    module = import_module(module_name)
+    value = module if not attribute else getattr(module, attribute)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list:
+    return __all__

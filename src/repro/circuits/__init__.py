@@ -1,0 +1,23 @@
+"""Circuit intermediate representation: instructions, circuits, DAGs, metrics."""
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.instruction import Instruction
+from repro.circuits.dag import circuit_to_dag, dag_to_circuit, layers
+from repro.circuits.metrics import (
+    circuit_duration,
+    count_distinct_two_qubit_gates,
+    count_two_qubit_gates,
+    two_qubit_depth,
+)
+
+__all__ = [
+    "QuantumCircuit",
+    "Instruction",
+    "circuit_to_dag",
+    "dag_to_circuit",
+    "layers",
+    "circuit_duration",
+    "count_distinct_two_qubit_gates",
+    "count_two_qubit_gates",
+    "two_qubit_depth",
+]

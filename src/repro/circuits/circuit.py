@@ -1,0 +1,298 @@
+"""The :class:`QuantumCircuit` intermediate representation.
+
+A circuit is an ordered list of :class:`~repro.circuits.instruction.Instruction`
+objects on a fixed number of qubits.  Convenience appenders are provided for
+every gate in the standard library, including the ReQISC ``{Can, U3}`` ISA.
+
+Qubit/matrix convention: qubit 0 is the most significant bit of computational
+basis indices, and an instruction's first qubit is the most significant qubit
+of its gate matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.instruction import Instruction
+from repro.gates import standard
+from repro.gates.gate import Gate, UnitaryGate
+
+__all__ = ["QuantumCircuit"]
+
+
+class QuantumCircuit:
+    """An ordered sequence of gates on ``num_qubits`` qubits."""
+
+    def __init__(self, num_qubits: int, name: str = "circuit") -> None:
+        if num_qubits < 1:
+            raise ValueError("a circuit needs at least one qubit")
+        self.num_qubits = int(num_qubits)
+        self.name = name
+        self._instructions: List[Instruction] = []
+
+    # ------------------------------------------------------------------
+    # Container protocol.
+    # ------------------------------------------------------------------
+    @property
+    def instructions(self) -> List[Instruction]:
+        """The (mutable) list of instructions in program order."""
+        return self._instructions
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def __getitem__(self, index):
+        return self._instructions[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumCircuit(name={self.name!r}, qubits={self.num_qubits}, "
+            f"gates={len(self._instructions)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Building.
+    # ------------------------------------------------------------------
+    def append(self, gate: Gate, qubits: Sequence[int]) -> "QuantumCircuit":
+        """Append ``gate`` acting on ``qubits``; returns ``self`` for chaining."""
+        qubits = tuple(int(q) for q in qubits)
+        for qubit in qubits:
+            if not 0 <= qubit < self.num_qubits:
+                raise ValueError(
+                    f"qubit {qubit} out of range for a {self.num_qubits}-qubit circuit"
+                )
+        self._instructions.append(Instruction(gate, qubits))
+        return self
+
+    def extend(self, instructions: Iterable[Instruction]) -> "QuantumCircuit":
+        """Append a sequence of pre-built instructions."""
+        for instruction in instructions:
+            self.append(instruction.gate, instruction.qubits)
+        return self
+
+    def compose(
+        self,
+        other: "QuantumCircuit",
+        qubits: Optional[Sequence[int]] = None,
+    ) -> "QuantumCircuit":
+        """Append another circuit, optionally remapped onto ``qubits``."""
+        if qubits is None:
+            qubits = range(other.num_qubits)
+        mapping = {local: int(q) for local, q in enumerate(qubits)}
+        if len(mapping) != other.num_qubits:
+            raise ValueError("qubit mapping must cover every qubit of the composed circuit")
+        for instruction in other:
+            self.append(instruction.gate, [mapping[q] for q in instruction.qubits])
+        return self
+
+    def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
+        """Shallow copy of the circuit (instructions are immutable)."""
+        duplicate = QuantumCircuit(self.num_qubits, name or self.name)
+        duplicate._instructions = list(self._instructions)
+        return duplicate
+
+    def inverse(self) -> "QuantumCircuit":
+        """Circuit implementing the adjoint unitary."""
+        inverted = QuantumCircuit(self.num_qubits, f"{self.name}_dg")
+        for instruction in reversed(self._instructions):
+            inverted.append(instruction.gate.dagger(), instruction.qubits)
+        return inverted
+
+    def remap_qubits(self, mapping) -> "QuantumCircuit":
+        """Return a copy with qubits relabelled through ``mapping``."""
+        remapped = QuantumCircuit(self.num_qubits, self.name)
+        for instruction in self._instructions:
+            remapped._instructions.append(instruction.remap(mapping))
+        return remapped
+
+    # ------------------------------------------------------------------
+    # Convenience appenders for standard gates.
+    # ------------------------------------------------------------------
+    def id(self, qubit: int) -> "QuantumCircuit":
+        return self.append(standard.i_gate(), [qubit])
+
+    def x(self, qubit: int) -> "QuantumCircuit":
+        return self.append(standard.x_gate(), [qubit])
+
+    def y(self, qubit: int) -> "QuantumCircuit":
+        return self.append(standard.y_gate(), [qubit])
+
+    def z(self, qubit: int) -> "QuantumCircuit":
+        return self.append(standard.z_gate(), [qubit])
+
+    def h(self, qubit: int) -> "QuantumCircuit":
+        return self.append(standard.h_gate(), [qubit])
+
+    def s(self, qubit: int) -> "QuantumCircuit":
+        return self.append(standard.s_gate(), [qubit])
+
+    def sdg(self, qubit: int) -> "QuantumCircuit":
+        return self.append(standard.sdg_gate(), [qubit])
+
+    def t(self, qubit: int) -> "QuantumCircuit":
+        return self.append(standard.t_gate(), [qubit])
+
+    def tdg(self, qubit: int) -> "QuantumCircuit":
+        return self.append(standard.tdg_gate(), [qubit])
+
+    def sx(self, qubit: int) -> "QuantumCircuit":
+        return self.append(standard.sx_gate(), [qubit])
+
+    def rx(self, angle: float, qubit: int) -> "QuantumCircuit":
+        return self.append(standard.rx_gate(angle), [qubit])
+
+    def ry(self, angle: float, qubit: int) -> "QuantumCircuit":
+        return self.append(standard.ry_gate(angle), [qubit])
+
+    def rz(self, angle: float, qubit: int) -> "QuantumCircuit":
+        return self.append(standard.rz_gate(angle), [qubit])
+
+    def p(self, angle: float, qubit: int) -> "QuantumCircuit":
+        return self.append(standard.p_gate(angle), [qubit])
+
+    def u3(self, theta: float, phi: float, lam: float, qubit: int) -> "QuantumCircuit":
+        return self.append(standard.u3_gate(theta, phi, lam), [qubit])
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        return self.append(standard.cx_gate(), [control, target])
+
+    def cy(self, control: int, target: int) -> "QuantumCircuit":
+        return self.append(standard.cy_gate(), [control, target])
+
+    def cz(self, control: int, target: int) -> "QuantumCircuit":
+        return self.append(standard.cz_gate(), [control, target])
+
+    def ch(self, control: int, target: int) -> "QuantumCircuit":
+        return self.append(standard.ch_gate(), [control, target])
+
+    def cp(self, angle: float, control: int, target: int) -> "QuantumCircuit":
+        return self.append(standard.cp_gate(angle), [control, target])
+
+    def crz(self, angle: float, control: int, target: int) -> "QuantumCircuit":
+        return self.append(standard.crz_gate(angle), [control, target])
+
+    def cv(self, control: int, target: int) -> "QuantumCircuit":
+        return self.append(standard.cv_gate(), [control, target])
+
+    def cvdg(self, control: int, target: int) -> "QuantumCircuit":
+        return self.append(standard.cvdg_gate(), [control, target])
+
+    def swap(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self.append(standard.swap_gate(), [qubit_a, qubit_b])
+
+    def iswap(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self.append(standard.iswap_gate(), [qubit_a, qubit_b])
+
+    def sqisw(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self.append(standard.sqisw_gate(), [qubit_a, qubit_b])
+
+    def b(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self.append(standard.b_gate(), [qubit_a, qubit_b])
+
+    def can(self, x: float, y: float, z: float, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self.append(standard.can_gate(x, y, z), [qubit_a, qubit_b])
+
+    def rxx(self, angle: float, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self.append(standard.rxx_gate(angle), [qubit_a, qubit_b])
+
+    def ryy(self, angle: float, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self.append(standard.ryy_gate(angle), [qubit_a, qubit_b])
+
+    def rzz(self, angle: float, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self.append(standard.rzz_gate(angle), [qubit_a, qubit_b])
+
+    def ccx(self, control_a: int, control_b: int, target: int) -> "QuantumCircuit":
+        return self.append(standard.ccx_gate(), [control_a, control_b, target])
+
+    def ccz(self, control_a: int, control_b: int, target: int) -> "QuantumCircuit":
+        return self.append(standard.ccz_gate(), [control_a, control_b, target])
+
+    def cswap(self, control: int, target_a: int, target_b: int) -> "QuantumCircuit":
+        return self.append(standard.cswap_gate(), [control, target_a, target_b])
+
+    def mcx(self, controls: Sequence[int], target: int) -> "QuantumCircuit":
+        return self.append(standard.mcx_gate(len(controls)), [*controls, target])
+
+    def unitary(self, matrix: np.ndarray, qubits: Sequence[int], label: str = "unitary") -> "QuantumCircuit":
+        return self.append(UnitaryGate(matrix, label=label), qubits)
+
+    # ------------------------------------------------------------------
+    # Queries and metrics.
+    # ------------------------------------------------------------------
+    def count_gates(self) -> int:
+        """Total number of instructions."""
+        return len(self._instructions)
+
+    def count_by_name(self) -> Dict[str, int]:
+        """Histogram of gate names."""
+        histogram: Dict[str, int] = {}
+        for instruction in self._instructions:
+            histogram[instruction.gate.name] = histogram.get(instruction.gate.name, 0) + 1
+        return histogram
+
+    def two_qubit_instructions(self) -> List[Instruction]:
+        """All instructions acting on exactly two qubits."""
+        return [instr for instr in self._instructions if instr.is_two_qubit]
+
+    def count_two_qubit_gates(self) -> int:
+        """Number of two-qubit gates (the paper's #2Q metric)."""
+        return sum(1 for instr in self._instructions if instr.is_two_qubit)
+
+    def max_gate_arity(self) -> int:
+        """Largest gate arity appearing in the circuit."""
+        return max((instr.num_qubits for instr in self._instructions), default=0)
+
+    def depth(self, *, only_two_qubit: bool = False) -> int:
+        """Circuit depth; with ``only_two_qubit`` the paper's Depth2Q metric."""
+        frontier = [0] * self.num_qubits
+        for instruction in self._instructions:
+            counts = not only_two_qubit or instruction.num_qubits >= 2
+            level = max(frontier[q] for q in instruction.qubits)
+            if counts:
+                level += 1
+            for qubit in instruction.qubits:
+                frontier[qubit] = level
+        return max(frontier, default=0)
+
+    def used_qubits(self) -> Tuple[int, ...]:
+        """Sorted tuple of qubits touched by at least one instruction."""
+        used = set()
+        for instruction in self._instructions:
+            used.update(instruction.qubits)
+        return tuple(sorted(used))
+
+    def duration(self, duration_fn: Callable[[Instruction], float]) -> float:
+        """Critical-path duration under a per-instruction duration model."""
+        frontier = [0.0] * self.num_qubits
+        for instruction in self._instructions:
+            start = max(frontier[q] for q in instruction.qubits)
+            finish = start + float(duration_fn(instruction))
+            for qubit in instruction.qubits:
+                frontier[qubit] = finish
+        return max(frontier, default=0.0)
+
+    # ------------------------------------------------------------------
+    # Simulation helpers.
+    # ------------------------------------------------------------------
+    def to_unitary(self) -> np.ndarray:
+        """Full unitary matrix of the circuit (exponential in qubit count)."""
+        from repro.simulators.unitary import circuit_unitary
+
+        return circuit_unitary(self)
+
+    def statevector(self, initial_state: Optional[np.ndarray] = None) -> np.ndarray:
+        """Final statevector starting from ``|0...0>`` (or a supplied state)."""
+        from repro.simulators.statevector import simulate_statevector
+
+        return simulate_statevector(self, initial_state=initial_state)
+
+    def to_qasm(self) -> str:
+        """OpenQASM 2.0 text for the circuit (supported-gate subset)."""
+        from repro.circuits.qasm import circuit_to_qasm
+
+        return circuit_to_qasm(self)

@@ -1,0 +1,69 @@
+"""Directed-acyclic-graph view of a circuit.
+
+Nodes are instruction indices; a directed edge ``i -> j`` exists when
+instruction ``j`` is the next instruction after ``i`` on at least one shared
+qubit.  The DAG is the representation used by the partitioning, DAG-compacting
+and routing passes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import networkx as nx
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.instruction import Instruction
+
+__all__ = ["circuit_to_dag", "dag_to_circuit", "layers", "front_layer"]
+
+
+def circuit_to_dag(circuit: QuantumCircuit) -> nx.DiGraph:
+    """Build the dependency DAG of ``circuit``.
+
+    Each node carries the corresponding :class:`Instruction` under the
+    ``"instruction"`` attribute.
+    """
+    dag = nx.DiGraph()
+    dag.graph["num_qubits"] = circuit.num_qubits
+    last_on_qubit: Dict[int, int] = {}
+    for index, instruction in enumerate(circuit):
+        dag.add_node(index, instruction=instruction)
+        for qubit in instruction.qubits:
+            previous = last_on_qubit.get(qubit)
+            if previous is not None:
+                dag.add_edge(previous, index)
+            last_on_qubit[qubit] = index
+    return dag
+
+
+def dag_to_circuit(dag: nx.DiGraph, num_qubits: int = None, name: str = "circuit") -> QuantumCircuit:
+    """Rebuild a circuit from a dependency DAG (topological order)."""
+    if num_qubits is None:
+        num_qubits = dag.graph.get("num_qubits")
+    if num_qubits is None:
+        raise ValueError("number of qubits not recorded on the DAG; pass num_qubits")
+    circuit = QuantumCircuit(num_qubits, name)
+    for node in nx.lexicographical_topological_sort(dag):
+        instruction: Instruction = dag.nodes[node]["instruction"]
+        circuit.append(instruction.gate, instruction.qubits)
+    return circuit
+
+
+def front_layer(dag: nx.DiGraph) -> List[int]:
+    """Nodes with no predecessors (the executable front of the DAG)."""
+    return [node for node in dag.nodes if dag.in_degree(node) == 0]
+
+
+def layers(circuit: QuantumCircuit) -> List[List[Instruction]]:
+    """Partition a circuit into greedy layers of mutually disjoint gates."""
+    result: List[List[Instruction]] = []
+    frontier: Dict[int, int] = {q: 0 for q in range(circuit.num_qubits)}
+    for instruction in circuit:
+        level = max(frontier[q] for q in instruction.qubits)
+        if level == len(result):
+            result.append([])
+        result[level].append(instruction)
+        for qubit in instruction.qubits:
+            frontier[qubit] = level + 1
+    return result

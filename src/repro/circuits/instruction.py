@@ -1,0 +1,54 @@
+"""A single circuit instruction: a gate applied to an ordered tuple of qubits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.gates.gate import Gate
+
+__all__ = ["Instruction"]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A gate bound to specific circuit qubits.
+
+    ``qubits`` is ordered: for controlled gates the control(s) come first,
+    matching the gate's matrix convention (first qubit = most significant).
+    """
+
+    gate: Gate
+    qubits: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "qubits", tuple(int(q) for q in self.qubits))
+        if len(self.qubits) != self.gate.num_qubits:
+            raise ValueError(
+                f"gate {self.gate.name!r} acts on {self.gate.num_qubits} qubits, "
+                f"got {len(self.qubits)}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"duplicate qubits in instruction: {self.qubits}")
+
+    @property
+    def num_qubits(self) -> int:
+        """Arity of the underlying gate."""
+        return self.gate.num_qubits
+
+    @property
+    def is_two_qubit(self) -> bool:
+        """True when the instruction acts on exactly two qubits."""
+        return self.gate.num_qubits == 2
+
+    def remap(self, mapping) -> "Instruction":
+        """Return a copy with qubits relabelled through ``mapping`` (dict or callable)."""
+        if callable(mapping):
+            qubits = tuple(mapping(q) for q in self.qubits)
+        else:
+            qubits = tuple(mapping[q] for q in self.qubits)
+        return Instruction(self.gate, qubits)
+
+    def __repr__(self) -> str:
+        qubits = ", ".join(str(q) for q in self.qubits)
+        return f"{self.gate!r} @ ({qubits})"

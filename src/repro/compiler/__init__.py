@@ -1,0 +1,11 @@
+"""The Regulus compiler: SU(4)-native compilation framework of ReQISC."""
+
+from repro.compiler.reqisc import CompilationResult, ReQISCCompiler
+from repro.compiler.baselines import CnotBaselineCompiler, Su4FusionBaselineCompiler
+
+__all__ = [
+    "CompilationResult",
+    "ReQISCCompiler",
+    "CnotBaselineCompiler",
+    "Su4FusionBaselineCompiler",
+]

@@ -1,0 +1,88 @@
+"""Pass infrastructure: every transformation is a :class:`CompilerPass` and
+pipelines are :class:`PassManager` instances (mirroring the staged design of
+Figure 2: program-aware, program-agnostic, hardware-aware)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.circuits.circuit import QuantumCircuit
+
+__all__ = ["CompilerPass", "PassManager", "PassRecord"]
+
+
+class CompilerPass:
+    """Base class for circuit transformations.
+
+    Subclasses implement :meth:`run` and may read/write the shared
+    ``properties`` dictionary (e.g. the qubit permutation produced by gate
+    mirroring, or the layout produced by routing).
+    """
+
+    #: Human-readable pass name (defaults to the class name).
+    name: str = ""
+
+    def run(self, circuit: QuantumCircuit, properties: Dict[str, Any]) -> QuantumCircuit:
+        """Transform ``circuit`` and return the new circuit."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.name or type(self).__name__
+
+
+@dataclass
+class PassRecord:
+    """Bookkeeping entry for one executed pass."""
+
+    name: str
+    seconds: float
+    gates_before: int
+    gates_after: int
+    two_qubit_before: int
+    two_qubit_after: int
+
+
+@dataclass
+class PassManager:
+    """Run a sequence of passes, recording per-pass statistics."""
+
+    passes: List[CompilerPass] = field(default_factory=list)
+    records: List[PassRecord] = field(default_factory=list)
+
+    def append(self, compiler_pass: CompilerPass) -> "PassManager":
+        """Add a pass to the end of the pipeline."""
+        self.passes.append(compiler_pass)
+        return self
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        properties: Optional[Dict[str, Any]] = None,
+    ) -> QuantumCircuit:
+        """Execute the pipeline on ``circuit``.
+
+        ``properties`` is shared by every pass; pass it in to retrieve
+        pass-produced metadata (final layout, qubit permutation, ...).
+        """
+        if properties is None:
+            properties = {}
+        self.records = []
+        current = circuit
+        for compiler_pass in self.passes:
+            start = time.perf_counter()
+            gates_before = len(current)
+            two_qubit_before = current.count_two_qubit_gates()
+            current = compiler_pass.run(current, properties)
+            self.records.append(
+                PassRecord(
+                    name=repr(compiler_pass),
+                    seconds=time.perf_counter() - start,
+                    gates_before=gates_before,
+                    gates_after=len(current),
+                    two_qubit_before=two_qubit_before,
+                    two_qubit_after=current.count_two_qubit_gates(),
+                )
+            )
+        return current

@@ -1,0 +1,45 @@
+"""Finalization: express every fused SU(4) block in the ``{Can, U3}`` ISA.
+
+This is the last logical-level pass of the Regulus pipeline: opaque ``su4``
+unitary blocks (produced by fusion, template assembly, hierarchical synthesis
+or routing absorption) are re-synthesized as one canonical gate plus
+single-qubit corrections, and trivial (identity-class) blocks are dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.passes.base import CompilerPass
+from repro.gates.gate import UnitaryGate
+from repro.synthesis.two_qubit import two_qubit_to_can_circuit
+
+__all__ = ["FinalizeToCanPass"]
+
+
+class FinalizeToCanPass(CompilerPass):
+    """Convert fused unitary blocks to ``{Can, U3}`` and drop trivial gates."""
+
+    name = "finalize_to_can"
+
+    def __init__(self, merge_single_qubit: bool = True) -> None:
+        self.merge_single_qubit = merge_single_qubit
+
+    def run(self, circuit: QuantumCircuit, properties: Dict[str, Any]) -> QuantumCircuit:
+        result = QuantumCircuit(circuit.num_qubits, circuit.name)
+        for instruction in circuit:
+            gate = instruction.gate
+            if gate.num_qubits == 2 and (isinstance(gate, UnitaryGate) or gate.name != "can"):
+                synthesized = two_qubit_to_can_circuit(gate.matrix, qubits=(0, 1))
+                mapping = {0: instruction.qubits[0], 1: instruction.qubits[1]}
+                for sub in synthesized:
+                    remapped = sub.remap(mapping)
+                    result.append(remapped.gate, remapped.qubits)
+            else:
+                result.append(gate, instruction.qubits)
+        if self.merge_single_qubit:
+            from repro.compiler.passes.peephole import _merge_one_qubit_runs
+
+            result = _merge_one_qubit_runs(result)
+        return result

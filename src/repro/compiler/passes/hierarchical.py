@@ -1,0 +1,272 @@
+"""Program-agnostic hierarchical synthesis (Section 5.1).
+
+Pipeline (Figure 7b):
+
+#. fuse maximal 2Q runs into SU(4) blocks,
+#. DAG compacting: exchange approximately-commuting SU(4)s to concentrate
+   gates into fewer ``w``-qubit partitions (compactness),
+#. partition the SU(4) circuit into ``w``-qubit blocks (default ``w = 3``),
+#. conditionally re-synthesize each block whose SU(4) count exceeds the
+   threshold ``m_th`` (default 4) with the numerical approximate synthesizer,
+   keeping the original block when synthesis does not help.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.instruction import Instruction
+from repro.compiler.passes.base import CompilerPass
+from repro.gates.gate import UnitaryGate
+from repro.simulators.statevector import apply_gate
+from repro.synthesis.approximate import ApproximateSynthesizer
+from repro.synthesis.blocks import consolidate_blocks
+
+__all__ = [
+    "MultiQubitBlock",
+    "partition_into_blocks",
+    "compactness",
+    "dag_compacting",
+    "HierarchicalSynthesisPass",
+]
+
+
+@dataclass
+class MultiQubitBlock:
+    """A contiguous group of instructions confined to at most ``w`` qubits."""
+
+    qubits: Tuple[int, ...]
+    instructions: List[Instruction] = field(default_factory=list)
+    start_position: int = 0
+
+    @property
+    def num_two_qubit_gates(self) -> int:
+        """Number of 2Q gates in the block."""
+        return sum(1 for instr in self.instructions if instr.is_two_qubit)
+
+    def unitary(self) -> np.ndarray:
+        """Unitary of the block on its (sorted) local qubits."""
+        order = {q: i for i, q in enumerate(self.qubits)}
+        dim = 2 ** len(self.qubits)
+        matrix = np.eye(dim, dtype=complex)
+        for instruction in self.instructions:
+            local = [order[q] for q in instruction.qubits]
+            matrix = apply_gate(matrix, instruction.gate.matrix, local, len(self.qubits))
+        return matrix
+
+
+def partition_into_blocks(
+    circuit: QuantumCircuit, block_size: int = 3
+) -> Tuple[List[MultiQubitBlock], List[Tuple[int, Instruction]]]:
+    """Greedy partition of a 1Q/2Q circuit into blocks of ``block_size`` qubits.
+
+    Returns ``(blocks, leftovers)``; every instruction belongs to exactly one
+    of the two.  Blocks grow as long as adding the next gate keeps the block
+    within ``block_size`` qubits and no intervening gate touched its qubits.
+    """
+    blocks: List[MultiQubitBlock] = []
+    leftovers: List[Tuple[int, Instruction]] = []
+    open_block: Dict[int, Optional[int]] = {}
+    # Emission position of each qubit's most recent use: blocks are emitted at
+    # their start position, so a block may only absorb a new qubit whose last
+    # use was emitted strictly before that position (ordering correctness).
+    last_emission: Dict[int, int] = {}
+
+    def close(qubit: int) -> None:
+        open_block[qubit] = None
+
+    for position, instruction in enumerate(circuit):
+        qubits = instruction.qubits
+        if instruction.num_qubits > 2:
+            for qubit in qubits:
+                close(qubit)
+                last_emission[qubit] = position
+            leftovers.append((position, instruction))
+            continue
+        if instruction.num_qubits == 1:
+            index = open_block.get(qubits[0])
+            if index is not None:
+                blocks[index].instructions.append(instruction)
+                last_emission[qubits[0]] = blocks[index].start_position
+            else:
+                leftovers.append((position, instruction))
+                last_emission[qubits[0]] = position
+            continue
+        pair = tuple(sorted(qubits))
+        indices = {open_block.get(q) for q in pair}
+        indices.discard(None)
+        if len(indices) == 1:
+            index = indices.pop()
+            block = blocks[index]
+            union = tuple(sorted(set(block.qubits) | set(pair)))
+            new_qubits = [q for q in pair if q not in block.qubits]
+            safe = all(
+                last_emission.get(q, -1) < block.start_position for q in new_qubits
+            )
+            if len(union) <= block_size and safe:
+                block.qubits = union
+                block.instructions.append(instruction)
+                for qubit in pair:
+                    open_block[qubit] = index
+                    last_emission[qubit] = block.start_position
+                continue
+        # Otherwise close whatever the two qubits were part of and start fresh.
+        for qubit in pair:
+            close(qubit)
+        blocks.append(MultiQubitBlock(qubits=pair, instructions=[instruction], start_position=position))
+        for qubit in pair:
+            open_block[qubit] = len(blocks) - 1
+            last_emission[qubit] = position
+    return blocks, leftovers
+
+
+def compactness(
+    circuit: QuantumCircuit, block_size: int = 3, threshold: int = 4
+) -> float:
+    """Partitioning compactness metric (Section 5.1.3).
+
+    Fraction of two-qubit gates that land in blocks dense enough to be worth
+    re-synthesizing (more than ``threshold`` 2Q gates).  Higher is better: an
+    ideal partition concentrates gates into few, dense blocks.
+    """
+    blocks, _ = partition_into_blocks(circuit, block_size=block_size)
+    total = sum(block.num_two_qubit_gates for block in blocks)
+    if total == 0:
+        return 0.0
+    dense = sum(
+        block.num_two_qubit_gates
+        for block in blocks
+        if block.num_two_qubit_gates > threshold
+    )
+    return dense / total
+
+
+def _commutator_norm(instr_a: Instruction, instr_b: Instruction) -> float:
+    """Norm of the commutator of two 2Q gates embedded on their joint qubits."""
+    qubits = sorted(set(instr_a.qubits) | set(instr_b.qubits))
+    order = {q: i for i, q in enumerate(qubits)}
+    dim = 2 ** len(qubits)
+    a = apply_gate(np.eye(dim, dtype=complex), instr_a.gate.matrix, [order[q] for q in instr_a.qubits], len(qubits))
+    b = apply_gate(np.eye(dim, dtype=complex), instr_b.gate.matrix, [order[q] for q in instr_b.qubits], len(qubits))
+    return float(np.linalg.norm(a @ b - b @ a)) / dim
+
+
+def dag_compacting(
+    circuit: QuantumCircuit,
+    block_size: int = 3,
+    threshold: int = 4,
+    commutation_tolerance: float = 1e-7,
+    max_sweeps: int = 3,
+) -> QuantumCircuit:
+    """Exchange (approximately) commuting adjacent SU(4)s to raise compactness.
+
+    Two neighbouring 2Q gates that share one qubit and commute within
+    ``commutation_tolerance`` may be exchanged; the exchange is kept when it
+    improves the compactness metric of the subsequent partitioning.
+    """
+    current = circuit
+    best_score = compactness(current, block_size=block_size, threshold=threshold)
+    for _ in range(max_sweeps):
+        improved = False
+        instructions = list(current)
+        for index in range(len(instructions) - 1):
+            first, second = instructions[index], instructions[index + 1]
+            if not (first.is_two_qubit and second.is_two_qubit):
+                continue
+            shared = set(first.qubits) & set(second.qubits)
+            if len(shared) != 1:
+                continue
+            if _commutator_norm(first, second) > commutation_tolerance:
+                continue
+            swapped = instructions[:index] + [second, first] + instructions[index + 2 :]
+            candidate = QuantumCircuit(current.num_qubits, current.name)
+            for instruction in swapped:
+                candidate.append(instruction.gate, instruction.qubits)
+            score = compactness(candidate, block_size=block_size, threshold=threshold)
+            if score > best_score + 1e-12:
+                current = candidate
+                best_score = score
+                improved = True
+                break
+        if not improved:
+            break
+    return current
+
+
+class HierarchicalSynthesisPass(CompilerPass):
+    """Two-tier partitioning + conditional approximate synthesis."""
+
+    name = "hierarchical_synthesis"
+
+    def __init__(
+        self,
+        block_size: int = 3,
+        threshold: int = 4,
+        tolerance: float = 1e-6,
+        enable_dag_compacting: bool = True,
+        synthesizer: Optional[ApproximateSynthesizer] = None,
+        max_synthesis_blocks: Optional[int] = None,
+    ) -> None:
+        self.block_size = block_size
+        self.threshold = threshold
+        self.tolerance = tolerance
+        self.enable_dag_compacting = enable_dag_compacting
+        self.synthesizer = synthesizer or ApproximateSynthesizer(
+            tolerance=tolerance, restarts=2, seed=2026, max_iterations=300
+        )
+        self.max_synthesis_blocks = max_synthesis_blocks
+
+    # ------------------------------------------------------------------
+    def run(self, circuit: QuantumCircuit, properties: Dict[str, Any]) -> QuantumCircuit:
+        fused = consolidate_blocks(circuit, form="unitary")
+        if self.enable_dag_compacting:
+            fused = dag_compacting(
+                fused, block_size=self.block_size, threshold=self.threshold
+            )
+        blocks, leftovers = partition_into_blocks(fused, block_size=self.block_size)
+
+        emissions: Dict[int, List[Instruction]] = {}
+        for position, instruction in leftovers:
+            emissions.setdefault(position, []).append(instruction)
+
+        synthesized_count = 0
+        for block in blocks:
+            replacement = list(block.instructions)
+            budget_ok = (
+                self.max_synthesis_blocks is None
+                or synthesized_count < self.max_synthesis_blocks
+            )
+            if block.num_two_qubit_gates > self.threshold and len(block.qubits) >= 2 and budget_ok:
+                new_instructions = self._resynthesize(block)
+                if new_instructions is not None:
+                    replacement = new_instructions
+                    synthesized_count += 1
+            emissions.setdefault(block.start_position, []).extend(replacement)
+
+        result = QuantumCircuit(circuit.num_qubits, circuit.name)
+        for position in range(len(fused)):
+            for instruction in emissions.get(position, []):
+                result.append(instruction.gate, instruction.qubits)
+        # Fuse any newly adjacent same-pair gates created by block rewrites.
+        return consolidate_blocks(result, form="unitary")
+
+    # ------------------------------------------------------------------
+    def _resynthesize(self, block: MultiQubitBlock) -> Optional[List[Instruction]]:
+        target = block.unitary()
+        original_count = block.num_two_qubit_gates
+        result = self.synthesizer.synthesize(
+            target,
+            num_qubits=len(block.qubits),
+            max_blocks=min(original_count - 1, 6),
+            min_blocks=min(3, max(original_count - 2, 1)),
+        )
+        if result is None or result.infidelity > self.tolerance:
+            return None
+        if result.two_qubit_count >= original_count:
+            return None
+        mapping = {local: phys for local, phys in enumerate(block.qubits)}
+        return [instr.remap(mapping) for instr in result.circuit]

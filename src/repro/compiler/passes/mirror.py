@@ -1,0 +1,66 @@
+"""Compile-time gate mirroring for near-identity SU(4) gates (Section 4.3).
+
+Gates whose Weyl coordinates lie close to the origin would require unbounded
+drive amplitudes to execute in optimal time.  The pass composes each such
+gate with a logical SWAP (moving it to the far side of the chamber) and
+tracks the induced qubit relabelling, so no extra two-qubit gate is emitted.
+The accumulated permutation is stored in the pass properties under
+``"mirror_permutation"`` (mapping logical qubit -> output wire).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.passes.base import CompilerPass
+from repro.gates import standard
+from repro.gates.gate import UnitaryGate
+from repro.linalg.weyl import is_near_identity, weyl_coordinates
+
+__all__ = ["MirrorNearIdentityPass"]
+
+_SWAP = standard.swap_gate().matrix
+
+
+class MirrorNearIdentityPass(CompilerPass):
+    """Replace near-identity 2Q gates with their SWAP-composed mirrors."""
+
+    name = "mirror_near_identity"
+
+    def __init__(self, threshold: float = 0.15) -> None:
+        self.threshold = threshold
+
+    def run(self, circuit: QuantumCircuit, properties: Dict[str, Any]) -> QuantumCircuit:
+        permutation: List[int] = list(range(circuit.num_qubits))
+        result = QuantumCircuit(circuit.num_qubits, circuit.name)
+        mirrored_count = 0
+        for instruction in circuit:
+            wires = tuple(permutation[q] for q in instruction.qubits)
+            gate = instruction.gate
+            if gate.num_qubits == 2:
+                coords = self._coordinates(gate)
+                if coords is not None and is_near_identity(coords, self.threshold):
+                    mirrored = UnitaryGate(_SWAP @ gate.matrix, label="su4")
+                    result.append(mirrored, wires)
+                    # The logical SWAP is resolved by exchanging the wires that
+                    # the two logical qubits map to from here on.
+                    a, b = instruction.qubits
+                    permutation[a], permutation[b] = permutation[b], permutation[a]
+                    mirrored_count += 1
+                    continue
+            result.append(gate, wires)
+        properties["mirror_permutation"] = list(permutation)
+        properties["mirrored_gate_count"] = mirrored_count
+        return result
+
+    @staticmethod
+    def _coordinates(gate) -> tuple:
+        if gate.name == "can":
+            return tuple(gate.params)
+        try:
+            return weyl_coordinates(gate.matrix)
+        except Exception:  # pragma: no cover - defensive
+            return None

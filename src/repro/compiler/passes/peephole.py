@@ -1,0 +1,171 @@
+"""Peephole optimizations for CNOT-ISA circuits.
+
+These are the optimizations that define the baseline compilers (Qiskit O3 /
+TKet style): merging runs of single-qubit gates into one ``U3``, cancelling
+adjacent self-inverse two-qubit gates, merging adjacent compatible rotations,
+and (optionally) consolidating two-qubit runs and re-synthesizing them with
+the minimal number of CNOTs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.instruction import Instruction
+from repro.compiler.passes.base import CompilerPass
+from repro.gates import standard
+from repro.linalg.predicates import allclose_up_to_global_phase
+from repro.linalg.su2 import u3_params_from_matrix
+
+__all__ = ["peephole_optimize", "PeepholeOptimizationPass"]
+
+_SELF_INVERSE_2Q = {"cx", "cz", "cy", "swap", "ch"}
+_MERGEABLE_ROTATIONS = {"rz", "rx", "ry", "p", "rzz", "rxx", "ryy", "cp", "crz"}
+#: Gates diagonal in the computational basis: they mutually commute, so
+#: diagonal rotations can be merged across them (the PauliSimp-style
+#: simplification used for Trotterized programs).
+_DIAGONAL_GATES = {"z", "s", "sdg", "t", "tdg", "rz", "p", "cz", "cp", "crz", "rzz", "ccz", "id"}
+_DIAGONAL_ROTATIONS = {"rz", "p", "rzz", "cp", "crz"}
+
+
+def _merge_one_qubit_runs(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Fuse consecutive single-qubit gates on each wire into one ``U3``."""
+    pending: Dict[int, np.ndarray] = {}
+    result = QuantumCircuit(circuit.num_qubits, circuit.name)
+
+    def flush(qubit: int) -> None:
+        matrix = pending.pop(qubit, None)
+        if matrix is None:
+            return
+        if allclose_up_to_global_phase(matrix, np.eye(2), atol=1e-10):
+            return
+        _, theta, phi, lam = u3_params_from_matrix(matrix)
+        result.u3(theta, phi, lam, qubit)
+
+    for instruction in circuit:
+        if instruction.num_qubits == 1:
+            qubit = instruction.qubits[0]
+            pending[qubit] = instruction.gate.matrix @ pending.get(qubit, np.eye(2, dtype=complex))
+        else:
+            for qubit in instruction.qubits:
+                flush(qubit)
+            result.append(instruction.gate, instruction.qubits)
+    for qubit in list(pending):
+        flush(qubit)
+    return result
+
+
+def _cancel_adjacent_two_qubit(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Cancel adjacent identical self-inverse 2Q gates and merge rotations.
+
+    Adjacency is evaluated per qubit pair: two 2Q gates cancel when no other
+    instruction touches either qubit in between.
+    """
+    instructions: List[Optional[Instruction]] = list(circuit)
+    last_on_pair: Dict[tuple, int] = {}
+    last_touch: Dict[int, int] = {}
+    last_nondiagonal_touch: Dict[int, int] = {}
+    for index, instruction in enumerate(circuit):
+        qubits = instruction.qubits
+        if instruction.num_qubits == 2:
+            pair = tuple(sorted(qubits))
+            previous = last_on_pair.get(pair)
+            previous_index = previous if previous is not None else -1
+            blocked = any(last_touch.get(q, -1) > previous_index for q in qubits)
+            blocked_nondiagonal = any(
+                last_nondiagonal_touch.get(q, -1) > previous_index for q in qubits
+            )
+            if previous is not None and instructions[previous] is not None:
+                prev_instr = instructions[previous]
+                same_orientation = prev_instr.qubits == qubits
+                name = instruction.gate.name
+                if (
+                    not blocked
+                    and name in _SELF_INVERSE_2Q
+                    and prev_instr.gate.name == name
+                    and same_orientation
+                ):
+                    instructions[previous] = None
+                    instructions[index] = None
+                    last_on_pair.pop(pair, None)
+                    for q in qubits:
+                        last_touch[q] = index
+                    continue
+                # Diagonal rotations merge across any intervening diagonal
+                # gates; other rotations only merge when strictly adjacent.
+                merge_allowed = (not blocked) or (
+                    name in _DIAGONAL_ROTATIONS and not blocked_nondiagonal
+                )
+                if (
+                    merge_allowed
+                    and name in _MERGEABLE_ROTATIONS
+                    and prev_instr.gate.name == name
+                    and same_orientation
+                ):
+                    angle = prev_instr.gate.params[0] + instruction.gate.params[0]
+                    instructions[previous] = None
+                    if abs(angle) < 1e-12:
+                        instructions[index] = None
+                    else:
+                        instructions[index] = Instruction(
+                            instruction.gate.with_params([angle]), qubits
+                        )
+                    last_on_pair[pair] = index
+                    for q in qubits:
+                        last_touch[q] = index
+                    continue
+            last_on_pair[pair] = index
+        for q in qubits:
+            last_touch[q] = index
+            if instruction.gate.name not in _DIAGONAL_GATES:
+                last_nondiagonal_touch[q] = index
+
+    result = QuantumCircuit(circuit.num_qubits, circuit.name)
+    for instruction in instructions:
+        if instruction is not None:
+            result.append(instruction.gate, instruction.qubits)
+    return result
+
+
+def peephole_optimize(
+    circuit: QuantumCircuit,
+    consolidate: bool = True,
+    max_rounds: int = 4,
+) -> QuantumCircuit:
+    """Iterate 1Q merging and 2Q cancellation to a fixed point.
+
+    With ``consolidate`` the final round re-synthesizes maximal two-qubit
+    runs with the minimal number of CNOTs (block consolidation), keeping the
+    original run whenever re-synthesis would not help.
+    """
+    from repro.synthesis.blocks import consolidate_blocks
+
+    current = circuit
+    for _ in range(max_rounds):
+        merged = _merge_one_qubit_runs(current)
+        cancelled = _cancel_adjacent_two_qubit(merged)
+        if len(cancelled) == len(current) and cancelled.count_two_qubit_gates() == current.count_two_qubit_gates():
+            current = cancelled
+            break
+        current = cancelled
+    if consolidate:
+        consolidated = consolidate_blocks(current, form="cx", only_if_fewer_gates=True)
+        if consolidated.count_two_qubit_gates() <= current.count_two_qubit_gates():
+            current = _merge_one_qubit_runs(consolidated)
+    return current
+
+
+class PeepholeOptimizationPass(CompilerPass):
+    """Pass wrapper around :func:`peephole_optimize`."""
+
+    name = "peephole"
+
+    def __init__(self, consolidate: bool = True, max_rounds: int = 4) -> None:
+        self.consolidate = consolidate
+        self.max_rounds = max_rounds
+
+    def run(self, circuit: QuantumCircuit, properties: Dict[str, Any]) -> QuantumCircuit:
+        return peephole_optimize(circuit, consolidate=self.consolidate, max_rounds=self.max_rounds)

@@ -1,0 +1,109 @@
+"""Program-aware template-based synthesis (Section 5.2).
+
+Type-1 programs (quantum versions of digital logic) are dominated by a small
+set of 3-qubit IR patterns.  The pass:
+
+#. expands MCX subroutines into CCX gates,
+#. replaces every templated 3-qubit IR instruction (CCX / CCZ / CSWAP) with a
+   pre-synthesized SU(4)-ISA realization from the template library,
+#. performs *selective assembly*: among the equivalent-circuit-class variants
+   of each template, the one whose first two-qubit gate can fuse with the most
+   recent pending gate on the same pair is chosen,
+#. fuses the boundary gates of neighbouring templates (2Q-block
+   consolidation).
+
+The output contains only 1Q and 2Q gates and is ready for the
+program-agnostic hierarchical pass and routing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.instruction import Instruction
+from repro.compiler.passes.base import CompilerPass
+from repro.synthesis.blocks import consolidate_blocks
+from repro.synthesis.mcx import expand_mcx_gates
+from repro.synthesis.templates import TemplateLibrary, default_template_library
+
+__all__ = ["TemplateSynthesisPass"]
+
+_TEMPLATED_GATES = ("ccx", "ccz", "cswap")
+
+
+class TemplateSynthesisPass(CompilerPass):
+    """Replace 3-qubit IR patterns with pre-synthesized SU(4) templates."""
+
+    name = "template_synthesis"
+
+    def __init__(
+        self,
+        library: Optional[TemplateLibrary] = None,
+        selective_assembly: bool = True,
+        fuse_output: bool = True,
+    ) -> None:
+        self.library = library or default_template_library()
+        self.selective_assembly = selective_assembly
+        self.fuse_output = fuse_output
+
+    # ------------------------------------------------------------------
+    def run(self, circuit: QuantumCircuit, properties: Dict[str, Any]) -> QuantumCircuit:
+        expanded = expand_mcx_gates(circuit)
+        result = QuantumCircuit(expanded.num_qubits, circuit.name)
+        # Last pending 2Q pair per qubit (used by selective assembly to pick
+        # the template variant that fuses best with already-emitted gates).
+        last_pair_for_qubit: Dict[int, Optional[Tuple[int, int]]] = {}
+
+        for instruction in expanded:
+            name = instruction.gate.name
+            if name in _TEMPLATED_GATES and self.library.has(name):
+                variant = self._pick_variant(name, instruction.qubits, last_pair_for_qubit)
+                mapping = {local: phys for local, phys in enumerate(instruction.qubits)}
+                for template_instr in variant:
+                    remapped = template_instr.remap(mapping)
+                    result.append(remapped.gate, remapped.qubits)
+                    self._track(remapped, last_pair_for_qubit)
+            else:
+                result.append(instruction.gate, instruction.qubits)
+                self._track(Instruction(instruction.gate, instruction.qubits), last_pair_for_qubit)
+
+        if self.fuse_output:
+            result = consolidate_blocks(result, form="unitary")
+        return result
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _track(instruction: Instruction, last_pair_for_qubit: Dict[int, Optional[Tuple[int, int]]]) -> None:
+        if instruction.num_qubits == 2:
+            pair = tuple(sorted(instruction.qubits))
+            for qubit in instruction.qubits:
+                last_pair_for_qubit[qubit] = pair
+        elif instruction.num_qubits != 1:
+            for qubit in instruction.qubits:
+                last_pair_for_qubit[qubit] = None
+
+    def _pick_variant(
+        self,
+        name: str,
+        qubits: Tuple[int, ...],
+        last_pair_for_qubit: Dict[int, Optional[Tuple[int, int]]],
+    ) -> QuantumCircuit:
+        variants = self.library.variants(name) if self.selective_assembly else [self.library.realization(name)]
+        if len(variants) == 1:
+            return variants[0]
+        mapping = {local: phys for local, phys in enumerate(qubits)}
+        best = variants[0]
+        best_score = -1
+        for variant in variants:
+            first_2q = next((instr for instr in variant if instr.is_two_qubit), None)
+            score = 0
+            if first_2q is not None:
+                physical_pair = tuple(sorted(mapping[q] for q in first_2q.qubits))
+                # A fusion happens when both qubits' most recent 2Q gate is on
+                # exactly this pair (so the boundary gates merge into one SU4).
+                if all(last_pair_for_qubit.get(q) == physical_pair for q in physical_pair):
+                    score = 1
+            if score > best_score:
+                best, best_score = variant, score
+        return best

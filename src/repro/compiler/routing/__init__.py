@@ -1,0 +1,6 @@
+"""Qubit mapping and routing: SABRE and the SU(4)-aware mirroring-SABRE."""
+
+from repro.compiler.routing.coupling_map import CouplingMap
+from repro.compiler.routing.sabre import RoutingResult, SabreRouter
+
+__all__ = ["CouplingMap", "SabreRouter", "RoutingResult"]

@@ -1,0 +1,94 @@
+"""Device connectivity graphs (coupling maps) and distance matrices."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Tuple
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["CouplingMap"]
+
+
+class CouplingMap:
+    """Undirected device connectivity graph.
+
+    Provides the topologies used in the evaluation: 1D chains and 2D grids
+    (Figure 12), plus all-to-all connectivity for logical-level comparisons.
+    """
+
+    def __init__(self, edges: Iterable[Tuple[int, int]], num_qubits: int = None, name: str = "custom") -> None:
+        self.graph = nx.Graph()
+        edges = [(int(a), int(b)) for a, b in edges]
+        if num_qubits is None:
+            num_qubits = max((max(edge) for edge in edges), default=-1) + 1
+        self.num_qubits = int(num_qubits)
+        self.graph.add_nodes_from(range(self.num_qubits))
+        self.graph.add_edges_from(edges)
+        self.name = name
+        self._distance: np.ndarray = None
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def line(cls, num_qubits: int) -> "CouplingMap":
+        """1D chain ``q0 - q1 - ... - q_{n-1}``."""
+        edges = [(i, i + 1) for i in range(num_qubits - 1)]
+        return cls(edges, num_qubits=num_qubits, name="chain")
+
+    @classmethod
+    def grid(cls, rows: int, columns: int) -> "CouplingMap":
+        """2D grid of ``rows x columns`` qubits."""
+        edges = []
+        for r in range(rows):
+            for c in range(columns):
+                idx = r * columns + c
+                if c + 1 < columns:
+                    edges.append((idx, idx + 1))
+                if r + 1 < rows:
+                    edges.append((idx, idx + columns))
+        return cls(edges, num_qubits=rows * columns, name="grid")
+
+    @classmethod
+    def grid_for(cls, num_qubits: int) -> "CouplingMap":
+        """Smallest near-square grid with at least ``num_qubits`` qubits."""
+        rows = max(1, int(math.floor(math.sqrt(num_qubits))))
+        columns = int(math.ceil(num_qubits / rows))
+        return cls.grid(rows, columns)
+
+    @classmethod
+    def all_to_all(cls, num_qubits: int) -> "CouplingMap":
+        """Fully connected topology (logical-level compilation)."""
+        edges = [(i, j) for i in range(num_qubits) for j in range(i + 1, num_qubits)]
+        return cls(edges, num_qubits=num_qubits, name="all-to-all")
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def edges(self) -> List[Tuple[int, int]]:
+        """List of undirected edges."""
+        return [tuple(sorted(edge)) for edge in self.graph.edges]
+
+    def is_connected(self, qubit_a: int, qubit_b: int) -> bool:
+        """True when the two physical qubits are adjacent."""
+        return self.graph.has_edge(qubit_a, qubit_b)
+
+    def neighbors(self, qubit: int) -> List[int]:
+        """Neighbouring physical qubits."""
+        return sorted(self.graph.neighbors(qubit))
+
+    def distance_matrix(self) -> np.ndarray:
+        """All-pairs shortest-path distance matrix (cached)."""
+        if self._distance is None:
+            matrix = np.full((self.num_qubits, self.num_qubits), np.inf)
+            for source, lengths in nx.all_pairs_shortest_path_length(self.graph):
+                for target, dist in lengths.items():
+                    matrix[source, target] = dist
+            self._distance = matrix
+        return self._distance
+
+    def distance(self, qubit_a: int, qubit_b: int) -> float:
+        """Shortest-path distance between two physical qubits."""
+        return float(self.distance_matrix()[qubit_a, qubit_b])
+
+    def __repr__(self) -> str:
+        return f"CouplingMap({self.name}, qubits={self.num_qubits}, edges={len(self.edges)})"

@@ -1,0 +1,31 @@
+"""Experiment harness: one entry point per evaluation table / figure."""
+
+from repro.experiments.tables import (
+    table1_suite_characteristics,
+    table2_logical_compilation,
+    table3_synthesis_cost,
+)
+from repro.experiments.figures import (
+    fig4_alpha_beta_profile,
+    fig6_pulse_parameters,
+    fig12_routing_overhead,
+    fig13_calibration,
+    fig14_ablation,
+    fig15_fidelity,
+    fig16_reliability,
+)
+from repro.experiments.common import format_rows
+
+__all__ = [
+    "table1_suite_characteristics",
+    "table2_logical_compilation",
+    "table3_synthesis_cost",
+    "fig4_alpha_beta_profile",
+    "fig6_pulse_parameters",
+    "fig12_routing_overhead",
+    "fig13_calibration",
+    "fig14_ablation",
+    "fig15_fidelity",
+    "fig16_reliability",
+    "format_rows",
+]

@@ -1,0 +1,6 @@
+"""Gate library: standard 1Q/2Q/3Q gates, canonical gates and fused unitaries."""
+
+from repro.gates.gate import Gate, UnitaryGate
+from repro.gates import standard
+
+__all__ = ["Gate", "UnitaryGate", "standard"]

@@ -1,0 +1,145 @@
+"""Core gate abstractions.
+
+A :class:`Gate` is an immutable description of a quantum operation: a name,
+the number of qubits it acts on, an optional tuple of real parameters and a
+unitary matrix.  Named gates obtain their matrix from the builder registry in
+:mod:`repro.gates.standard`; fused blocks produced by the compiler carry an
+explicit matrix (:class:`UnitaryGate`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Gate", "UnitaryGate", "register_matrix_builder"]
+
+#: Registry mapping gate names to functions ``params -> unitary matrix``.
+_MATRIX_BUILDERS: Dict[str, Callable[..., np.ndarray]] = {}
+
+
+def register_matrix_builder(name: str, builder: Callable[..., np.ndarray]) -> None:
+    """Register the matrix builder for a named gate."""
+    _MATRIX_BUILDERS[name] = builder
+
+
+class Gate:
+    """An immutable named quantum gate.
+
+    Parameters
+    ----------
+    name:
+        Lower-case gate mnemonic (``"cx"``, ``"u3"``, ``"can"``, ...).
+    num_qubits:
+        Arity of the gate.
+    params:
+        Real parameters (rotation angles, canonical coordinates, ...).
+    """
+
+    __slots__ = ("name", "num_qubits", "params", "_matrix")
+
+    def __init__(
+        self,
+        name: str,
+        num_qubits: int,
+        params: Sequence[float] = (),
+        matrix: Optional[np.ndarray] = None,
+    ) -> None:
+        self.name = name
+        self.num_qubits = int(num_qubits)
+        self.params: Tuple[float, ...] = tuple(float(p) for p in params)
+        self._matrix = None if matrix is None else np.asarray(matrix, dtype=complex)
+
+    # -- matrix ------------------------------------------------------------
+    @property
+    def matrix(self) -> np.ndarray:
+        """Unitary matrix of the gate (``2^n x 2^n``)."""
+        if self._matrix is None:
+            try:
+                builder = _MATRIX_BUILDERS[self.name]
+            except KeyError:
+                raise KeyError(
+                    f"no matrix builder registered for gate {self.name!r}"
+                ) from None
+            self._matrix = np.asarray(builder(*self.params), dtype=complex)
+        return self._matrix
+
+    # -- helpers -----------------------------------------------------------
+    @property
+    def is_two_qubit(self) -> bool:
+        """True for gates acting on exactly two qubits."""
+        return self.num_qubits == 2
+
+    @property
+    def is_parametrized(self) -> bool:
+        """True when the gate carries continuous parameters."""
+        return bool(self.params)
+
+    def dagger(self) -> "Gate":
+        """Return the adjoint gate as an explicit-matrix gate."""
+        return UnitaryGate(self.matrix.conj().T, label=f"{self.name}_dg")
+
+    def with_params(self, params: Sequence[float]) -> "Gate":
+        """Return a copy of this gate with different parameters."""
+        return Gate(self.name, self.num_qubits, params)
+
+    def copy(self) -> "Gate":
+        """Shallow copy (gates are immutable, so this shares the matrix)."""
+        return Gate(self.name, self.num_qubits, self.params, self._matrix)
+
+    # -- equality / repr ----------------------------------------------------
+    def approx_equal(self, other: "Gate", atol: float = 1e-9) -> bool:
+        """Structural equality: same name, arity and parameters within atol."""
+        return (
+            self.name == other.name
+            and self.num_qubits == other.num_qubits
+            and len(self.params) == len(other.params)
+            and all(abs(a - b) <= atol for a, b in zip(self.params, other.params))
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Gate):
+            return NotImplemented
+        return self.approx_equal(other, atol=0.0)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.num_qubits, self.params))
+
+    def __repr__(self) -> str:
+        if self.params:
+            params = ", ".join(f"{p:.6g}" for p in self.params)
+            return f"{self.name}({params})"
+        return self.name
+
+
+class UnitaryGate(Gate):
+    """A gate defined directly by its unitary matrix.
+
+    Used for fused SU(4)/SU(8) blocks produced by the compiler passes and for
+    synthesized templates.  The ``label`` keeps a human-readable provenance
+    tag (e.g. ``"su4"`` or ``"block"``).
+    """
+
+    def __init__(self, matrix: np.ndarray, label: str = "unitary") -> None:
+        matrix = np.asarray(matrix, dtype=complex)
+        dim = matrix.shape[0]
+        if matrix.shape != (dim, dim) or dim & (dim - 1):
+            raise ValueError(f"matrix shape {matrix.shape} is not a power-of-two square")
+        num_qubits = int(np.log2(dim))
+        super().__init__(label, num_qubits, (), matrix)
+
+    def __repr__(self) -> str:
+        return f"{self.name}[{self.num_qubits}q]"
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.num_qubits, self.matrix.tobytes()))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Gate):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.num_qubits == other.num_qubits
+            and np.array_equal(self.matrix, other.matrix)
+        )

@@ -1,0 +1,526 @@
+"""Standard gate library.
+
+Provides matrix builders and convenience constructors for the gates used by
+the paper: the CNOT-based ISA (``{CX, U3}``), the ReQISC SU(4) ISA
+(``{Can, U3}``), the fixed 2Q basis gates compared in Table 3 (``iSWAP``,
+``SQiSW``, ``B``) and the reversible-logic gates appearing in the benchmark
+suite (``CCX``, ``MCX``, ``CSWAP`` ...).
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.gates.gate import Gate, UnitaryGate, register_matrix_builder
+from repro.linalg.su2 import rx_matrix, ry_matrix, rz_matrix, u3_matrix
+from repro.linalg.weyl import canonical_gate
+
+__all__ = [
+    "i_gate",
+    "x_gate",
+    "y_gate",
+    "z_gate",
+    "h_gate",
+    "s_gate",
+    "sdg_gate",
+    "t_gate",
+    "tdg_gate",
+    "sx_gate",
+    "rx_gate",
+    "ry_gate",
+    "rz_gate",
+    "p_gate",
+    "u3_gate",
+    "cx_gate",
+    "cy_gate",
+    "cz_gate",
+    "ch_gate",
+    "cp_gate",
+    "crz_gate",
+    "swap_gate",
+    "iswap_gate",
+    "sqisw_gate",
+    "b_gate",
+    "can_gate",
+    "rxx_gate",
+    "ryy_gate",
+    "rzz_gate",
+    "cv_gate",
+    "cvdg_gate",
+    "ccx_gate",
+    "ccz_gate",
+    "cswap_gate",
+    "mcx_gate",
+    "unitary_gate",
+    "TWO_QUBIT_NAMES",
+]
+
+# ---------------------------------------------------------------------------
+# Matrix builders (registered by name so Gate.matrix can find them).
+# ---------------------------------------------------------------------------
+
+_SQ2 = 1.0 / math.sqrt(2.0)
+
+
+def _mat_i() -> np.ndarray:
+    return np.eye(2, dtype=complex)
+
+
+def _mat_x() -> np.ndarray:
+    return np.array([[0, 1], [1, 0]], dtype=complex)
+
+
+def _mat_y() -> np.ndarray:
+    return np.array([[0, -1j], [1j, 0]], dtype=complex)
+
+
+def _mat_z() -> np.ndarray:
+    return np.array([[1, 0], [0, -1]], dtype=complex)
+
+
+def _mat_h() -> np.ndarray:
+    return _SQ2 * np.array([[1, 1], [1, -1]], dtype=complex)
+
+
+def _mat_s() -> np.ndarray:
+    return np.diag([1.0, 1j]).astype(complex)
+
+
+def _mat_sdg() -> np.ndarray:
+    return np.diag([1.0, -1j]).astype(complex)
+
+
+def _mat_t() -> np.ndarray:
+    return np.diag([1.0, cmath.exp(1j * math.pi / 4)]).astype(complex)
+
+
+def _mat_tdg() -> np.ndarray:
+    return np.diag([1.0, cmath.exp(-1j * math.pi / 4)]).astype(complex)
+
+
+def _mat_sx() -> np.ndarray:
+    return 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+
+
+def _mat_p(angle: float) -> np.ndarray:
+    return np.diag([1.0, cmath.exp(1j * angle)]).astype(complex)
+
+
+def _controlled(target_matrix: np.ndarray) -> np.ndarray:
+    """Two-qubit controlled version (control = qubit 0, big-endian)."""
+    result = np.eye(4, dtype=complex)
+    result[2:, 2:] = target_matrix
+    return result
+
+
+def _mat_cx() -> np.ndarray:
+    return _controlled(_mat_x())
+
+
+def _mat_cy() -> np.ndarray:
+    return _controlled(_mat_y())
+
+
+def _mat_cz() -> np.ndarray:
+    return _controlled(_mat_z())
+
+
+def _mat_ch() -> np.ndarray:
+    return _controlled(_mat_h())
+
+
+def _mat_cp(angle: float) -> np.ndarray:
+    return _controlled(_mat_p(angle))
+
+
+def _mat_crz(angle: float) -> np.ndarray:
+    return _controlled(rz_matrix(angle))
+
+
+def _mat_cv() -> np.ndarray:
+    """Controlled square-root-of-X."""
+    return _controlled(_mat_sx())
+
+
+def _mat_cvdg() -> np.ndarray:
+    return _controlled(_mat_sx().conj().T)
+
+
+def _mat_swap() -> np.ndarray:
+    return np.array(
+        [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+    )
+
+
+def _mat_iswap() -> np.ndarray:
+    return np.array(
+        [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]], dtype=complex
+    )
+
+
+def _mat_sqisw() -> np.ndarray:
+    """Square root of iSWAP (the SQiSW gate of Huang et al.)."""
+    return np.array(
+        [
+            [1, 0, 0, 0],
+            [0, _SQ2, 1j * _SQ2, 0],
+            [0, 1j * _SQ2, _SQ2, 0],
+            [0, 0, 0, 1],
+        ],
+        dtype=complex,
+    )
+
+
+def _mat_b() -> np.ndarray:
+    """The B gate (Zhang et al. 2004), locally equivalent to Can(pi/4, pi/8, 0)."""
+    return canonical_gate(math.pi / 4.0, math.pi / 8.0, 0.0)
+
+
+def _mat_can(x: float, y: float, z: float) -> np.ndarray:
+    return canonical_gate(x, y, z)
+
+
+def _mat_rxx(angle: float) -> np.ndarray:
+    return canonical_gate(angle / 2.0, 0.0, 0.0)
+
+
+def _mat_ryy(angle: float) -> np.ndarray:
+    return canonical_gate(0.0, angle / 2.0, 0.0)
+
+
+def _mat_rzz(angle: float) -> np.ndarray:
+    return canonical_gate(0.0, 0.0, angle / 2.0)
+
+
+def _mat_ccx() -> np.ndarray:
+    mat = np.eye(8, dtype=complex)
+    mat[6, 6], mat[6, 7], mat[7, 6], mat[7, 7] = 0, 1, 1, 0
+    return mat
+
+
+def _mat_ccz() -> np.ndarray:
+    mat = np.eye(8, dtype=complex)
+    mat[7, 7] = -1
+    return mat
+
+
+def _mat_cswap() -> np.ndarray:
+    mat = np.eye(8, dtype=complex)
+    mat[5, 5], mat[5, 6], mat[6, 5], mat[6, 6] = 0, 1, 1, 0
+    return mat
+
+
+def _mat_mcx(num_controls: float) -> np.ndarray:
+    controls = int(round(num_controls))
+    dim = 2 ** (controls + 1)
+    mat = np.eye(dim, dtype=complex)
+    mat[dim - 2, dim - 2], mat[dim - 2, dim - 1] = 0, 1
+    mat[dim - 1, dim - 2], mat[dim - 1, dim - 1] = 1, 0
+    return mat
+
+
+_BUILDERS = {
+    "id": _mat_i,
+    "x": _mat_x,
+    "y": _mat_y,
+    "z": _mat_z,
+    "h": _mat_h,
+    "s": _mat_s,
+    "sdg": _mat_sdg,
+    "t": _mat_t,
+    "tdg": _mat_tdg,
+    "sx": _mat_sx,
+    "rx": rx_matrix,
+    "ry": ry_matrix,
+    "rz": rz_matrix,
+    "p": _mat_p,
+    "u3": u3_matrix,
+    "cx": _mat_cx,
+    "cy": _mat_cy,
+    "cz": _mat_cz,
+    "ch": _mat_ch,
+    "cp": _mat_cp,
+    "crz": _mat_crz,
+    "cv": _mat_cv,
+    "cvdg": _mat_cvdg,
+    "swap": _mat_swap,
+    "iswap": _mat_iswap,
+    "sqisw": _mat_sqisw,
+    "b": _mat_b,
+    "can": _mat_can,
+    "rxx": _mat_rxx,
+    "ryy": _mat_ryy,
+    "rzz": _mat_rzz,
+    "ccx": _mat_ccx,
+    "ccz": _mat_ccz,
+    "cswap": _mat_cswap,
+    "mcx": _mat_mcx,
+}
+
+for _name, _builder in _BUILDERS.items():
+    register_matrix_builder(_name, _builder)
+
+#: Names of standard two-qubit gates (used by circuit metrics and passes).
+TWO_QUBIT_NAMES = frozenset(
+    {
+        "cx",
+        "cy",
+        "cz",
+        "ch",
+        "cp",
+        "crz",
+        "cv",
+        "cvdg",
+        "swap",
+        "iswap",
+        "sqisw",
+        "b",
+        "can",
+        "rxx",
+        "ryy",
+        "rzz",
+    }
+)
+
+_ARITY = {
+    "id": 1,
+    "x": 1,
+    "y": 1,
+    "z": 1,
+    "h": 1,
+    "s": 1,
+    "sdg": 1,
+    "t": 1,
+    "tdg": 1,
+    "sx": 1,
+    "rx": 1,
+    "ry": 1,
+    "rz": 1,
+    "p": 1,
+    "u3": 1,
+    "cx": 2,
+    "cy": 2,
+    "cz": 2,
+    "ch": 2,
+    "cp": 2,
+    "crz": 2,
+    "cv": 2,
+    "cvdg": 2,
+    "swap": 2,
+    "iswap": 2,
+    "sqisw": 2,
+    "b": 2,
+    "can": 2,
+    "rxx": 2,
+    "ryy": 2,
+    "rzz": 2,
+    "ccx": 3,
+    "ccz": 3,
+    "cswap": 3,
+}
+
+
+def named_gate(name: str, params: Sequence[float] = ()) -> Gate:
+    """Construct a standard gate by name."""
+    if name == "mcx":
+        raise ValueError("use mcx_gate(num_controls) for multi-controlled X gates")
+    try:
+        arity = _ARITY[name]
+    except KeyError:
+        raise KeyError(f"unknown standard gate {name!r}") from None
+    return Gate(name, arity, params)
+
+
+# -- 1Q constructors ---------------------------------------------------------
+
+
+def i_gate() -> Gate:
+    """Identity gate."""
+    return Gate("id", 1)
+
+
+def x_gate() -> Gate:
+    """Pauli-X gate."""
+    return Gate("x", 1)
+
+
+def y_gate() -> Gate:
+    """Pauli-Y gate."""
+    return Gate("y", 1)
+
+
+def z_gate() -> Gate:
+    """Pauli-Z gate."""
+    return Gate("z", 1)
+
+
+def h_gate() -> Gate:
+    """Hadamard gate."""
+    return Gate("h", 1)
+
+
+def s_gate() -> Gate:
+    """Phase gate S."""
+    return Gate("s", 1)
+
+
+def sdg_gate() -> Gate:
+    """Adjoint phase gate."""
+    return Gate("sdg", 1)
+
+
+def t_gate() -> Gate:
+    """T gate."""
+    return Gate("t", 1)
+
+
+def tdg_gate() -> Gate:
+    """Adjoint T gate."""
+    return Gate("tdg", 1)
+
+
+def sx_gate() -> Gate:
+    """Square-root-of-X gate."""
+    return Gate("sx", 1)
+
+
+def rx_gate(angle: float) -> Gate:
+    """Rotation about X."""
+    return Gate("rx", 1, (angle,))
+
+
+def ry_gate(angle: float) -> Gate:
+    """Rotation about Y."""
+    return Gate("ry", 1, (angle,))
+
+
+def rz_gate(angle: float) -> Gate:
+    """Rotation about Z."""
+    return Gate("rz", 1, (angle,))
+
+
+def p_gate(angle: float) -> Gate:
+    """Phase rotation gate."""
+    return Gate("p", 1, (angle,))
+
+
+def u3_gate(theta: float, phi: float, lam: float) -> Gate:
+    """Generic single-qubit gate ``U3(theta, phi, lam)``."""
+    return Gate("u3", 1, (theta, phi, lam))
+
+
+# -- 2Q constructors ---------------------------------------------------------
+
+
+def cx_gate() -> Gate:
+    """CNOT gate (control on the first qubit)."""
+    return Gate("cx", 2)
+
+
+def cy_gate() -> Gate:
+    """Controlled-Y gate."""
+    return Gate("cy", 2)
+
+
+def cz_gate() -> Gate:
+    """Controlled-Z gate."""
+    return Gate("cz", 2)
+
+
+def ch_gate() -> Gate:
+    """Controlled-Hadamard gate."""
+    return Gate("ch", 2)
+
+
+def cp_gate(angle: float) -> Gate:
+    """Controlled phase gate."""
+    return Gate("cp", 2, (angle,))
+
+
+def crz_gate(angle: float) -> Gate:
+    """Controlled RZ gate."""
+    return Gate("crz", 2, (angle,))
+
+
+def cv_gate() -> Gate:
+    """Controlled square-root-of-X (used by the 5-gate Toffoli template)."""
+    return Gate("cv", 2)
+
+
+def cvdg_gate() -> Gate:
+    """Adjoint controlled square-root-of-X."""
+    return Gate("cvdg", 2)
+
+
+def swap_gate() -> Gate:
+    """SWAP gate."""
+    return Gate("swap", 2)
+
+
+def iswap_gate() -> Gate:
+    """iSWAP gate."""
+    return Gate("iswap", 2)
+
+
+def sqisw_gate() -> Gate:
+    """Square-root-of-iSWAP gate."""
+    return Gate("sqisw", 2)
+
+
+def b_gate() -> Gate:
+    """The B gate, Can(pi/4, pi/8, 0)."""
+    return Gate("b", 2)
+
+
+def can_gate(x: float, y: float, z: float) -> Gate:
+    """Canonical gate ``Can(x, y, z)`` — the 2Q half of the ReQISC ISA."""
+    return Gate("can", 2, (x, y, z))
+
+
+def rxx_gate(angle: float) -> Gate:
+    """XX rotation ``exp(-i angle XX / 2)``."""
+    return Gate("rxx", 2, (angle,))
+
+
+def ryy_gate(angle: float) -> Gate:
+    """YY rotation ``exp(-i angle YY / 2)``."""
+    return Gate("ryy", 2, (angle,))
+
+
+def rzz_gate(angle: float) -> Gate:
+    """ZZ rotation ``exp(-i angle ZZ / 2)``."""
+    return Gate("rzz", 2, (angle,))
+
+
+# -- 3Q and multi-controlled constructors ------------------------------------
+
+
+def ccx_gate() -> Gate:
+    """Toffoli gate."""
+    return Gate("ccx", 3)
+
+
+def ccz_gate() -> Gate:
+    """Doubly-controlled Z gate."""
+    return Gate("ccz", 3)
+
+
+def cswap_gate() -> Gate:
+    """Fredkin (controlled-SWAP) gate."""
+    return Gate("cswap", 3)
+
+
+def mcx_gate(num_controls: int) -> Gate:
+    """Multi-controlled X gate with ``num_controls`` control qubits."""
+    if num_controls < 1:
+        raise ValueError("mcx requires at least one control")
+    return Gate("mcx", num_controls + 1, (float(num_controls),))
+
+
+def unitary_gate(matrix: np.ndarray, label: str = "unitary") -> UnitaryGate:
+    """Wrap an explicit unitary matrix as a gate."""
+    return UnitaryGate(matrix, label=label)

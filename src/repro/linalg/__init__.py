@@ -1,0 +1,79 @@
+"""Linear-algebra substrate: SU(2)/SU(4) utilities, KAK/Weyl decomposition."""
+
+from repro.linalg.constants import (
+    IDENTITY2,
+    MAGIC_BASIS,
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+    XX,
+    YY,
+    ZZ,
+)
+from repro.linalg.predicates import (
+    allclose_up_to_global_phase,
+    average_gate_fidelity,
+    is_hermitian,
+    is_special_unitary,
+    is_unitary,
+    process_fidelity,
+    unitary_infidelity,
+)
+from repro.linalg.random import (
+    haar_random_state,
+    haar_random_su2,
+    haar_random_su4,
+    haar_random_unitary,
+    random_coupling_coefficients,
+    random_hermitian,
+)
+from repro.linalg.su2 import (
+    su2_from_zyz,
+    u3_matrix,
+    zyz_angles,
+)
+from repro.linalg.weyl import (
+    KAKDecomposition,
+    canonical_gate,
+    canonicalize_coordinates,
+    kak_decompose,
+    local_equivalence_distance,
+    makhlin_invariants,
+    mirror_coordinates,
+    weyl_coordinates,
+)
+
+__all__ = [
+    "IDENTITY2",
+    "MAGIC_BASIS",
+    "PAULI_X",
+    "PAULI_Y",
+    "PAULI_Z",
+    "XX",
+    "YY",
+    "ZZ",
+    "allclose_up_to_global_phase",
+    "average_gate_fidelity",
+    "is_hermitian",
+    "is_special_unitary",
+    "is_unitary",
+    "process_fidelity",
+    "unitary_infidelity",
+    "haar_random_state",
+    "haar_random_su2",
+    "haar_random_su4",
+    "haar_random_unitary",
+    "random_coupling_coefficients",
+    "random_hermitian",
+    "su2_from_zyz",
+    "u3_matrix",
+    "zyz_angles",
+    "KAKDecomposition",
+    "canonical_gate",
+    "canonicalize_coordinates",
+    "kak_decompose",
+    "local_equivalence_distance",
+    "makhlin_invariants",
+    "mirror_coordinates",
+    "weyl_coordinates",
+]

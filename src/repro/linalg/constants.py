@@ -1,0 +1,72 @@
+"""Shared numerical constants: Pauli matrices, two-qubit Pauli products and
+the magic (Bell) basis used throughout the canonical (KAK) decomposition.
+
+The magic basis follows Eq. (30) of the paper::
+
+    M = 1/sqrt(2) [[1, 0, 0,  i],
+                   [0, i, 1,  0],
+                   [0, i, -1, 0],
+                   [1, 0, 0, -i]]
+
+Conjugating a two-qubit unitary into this basis maps the local subgroup
+SU(2) x SU(2) onto SO(4) and diagonalizes every canonical gate
+``Can(x, y, z) = exp(-i (x XX + y YY + z ZZ))``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Default absolute tolerance for floating-point comparisons on unitaries.
+ATOL = 1e-9
+
+IDENTITY2 = np.eye(2, dtype=complex)
+
+PAULI_X = np.array([[0.0, 1.0], [1.0, 0.0]], dtype=complex)
+PAULI_Y = np.array([[0.0, -1.0j], [1.0j, 0.0]], dtype=complex)
+PAULI_Z = np.array([[1.0, 0.0], [0.0, -1.0]], dtype=complex)
+
+#: Single-qubit Paulis indexed by axis (0 -> X, 1 -> Y, 2 -> Z).
+PAULIS = (PAULI_X, PAULI_Y, PAULI_Z)
+
+XX = np.kron(PAULI_X, PAULI_X)
+YY = np.kron(PAULI_Y, PAULI_Y)
+ZZ = np.kron(PAULI_Z, PAULI_Z)
+
+#: Two-qubit Pauli products indexed by axis, matching :data:`PAULIS`.
+PAULI_PRODUCTS = (XX, YY, ZZ)
+
+MAGIC_BASIS = (1.0 / np.sqrt(2.0)) * np.array(
+    [
+        [1.0, 0.0, 0.0, 1.0j],
+        [0.0, 1.0j, 1.0, 0.0],
+        [0.0, 1.0j, -1.0, 0.0],
+        [1.0, 0.0, 0.0, -1.0j],
+    ],
+    dtype=complex,
+)
+
+MAGIC_BASIS_DAG = MAGIC_BASIS.conj().T
+
+# Diagonal of each two-qubit Pauli product in the magic basis.  Each is a
+# vector of +/-1 entries; they define the linear map between canonical
+# coordinates (x, y, z) and the four magic-basis eigenphases.
+_DIAG_XX = np.real(np.diag(MAGIC_BASIS_DAG @ XX @ MAGIC_BASIS)).copy()
+_DIAG_YY = np.real(np.diag(MAGIC_BASIS_DAG @ YY @ MAGIC_BASIS)).copy()
+_DIAG_ZZ = np.real(np.diag(MAGIC_BASIS_DAG @ ZZ @ MAGIC_BASIS)).copy()
+
+#: 4x3 matrix mapping (x, y, z) to the magic-basis phases of Can(x, y, z):
+#: ``phases = -COORD_TO_PHASE @ (x, y, z)`` (the minus sign comes from the
+#: ``exp(-i ...)`` convention used for canonical gates).
+COORD_TO_PHASE = np.stack([_DIAG_XX, _DIAG_YY, _DIAG_ZZ], axis=1)
+
+SQRT2 = np.sqrt(2.0)
+
+#: Clifford-like Hermitian unitaries that exchange a pair of Pauli axes when
+#: conjugating: AXIS_SWAP[(i, j)] maps axis i <-> j (up to sign) and negates
+#: the remaining axis.
+AXIS_SWAP = {
+    (0, 1): (PAULI_X + PAULI_Y) / SQRT2,
+    (0, 2): (PAULI_X + PAULI_Z) / SQRT2,
+    (1, 2): (PAULI_Y + PAULI_Z) / SQRT2,
+}

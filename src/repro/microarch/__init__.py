@@ -1,0 +1,29 @@
+"""The ReQISC microarchitecture (genAshN gate scheme).
+
+Implements Algorithm 1 of the paper: given a two-qubit coupling Hamiltonian
+and a target SU(4) gate, compute the time-optimal interaction duration and
+the simple pulse parameters (drive amplitudes ``Omega1``, ``Omega2`` and
+detuning ``delta``) that realize the gate up to single-qubit corrections.
+"""
+
+from repro.microarch.hamiltonian import CouplingHamiltonian
+from repro.microarch.durations import (
+    DurationBreakdown,
+    SubScheme,
+    optimal_duration,
+    su4_duration_model,
+)
+from repro.microarch.scheme import GenAshNScheme, PulseProgram
+from repro.microarch.calibration import CalibrationModel, distinct_su4_report
+
+__all__ = [
+    "CouplingHamiltonian",
+    "DurationBreakdown",
+    "SubScheme",
+    "optimal_duration",
+    "su4_duration_model",
+    "GenAshNScheme",
+    "PulseProgram",
+    "CalibrationModel",
+    "distinct_su4_report",
+]

@@ -1,0 +1,81 @@
+"""Calibration cost model (Section 4.5 / 6.5).
+
+Each *distinct* SU(4) instruction appearing in a compiled program must be
+calibrated on hardware; the total calibration cost scales linearly with the
+number of distinct gates.  This module provides the accounting used by the
+calibration-efficiency experiment (Figure 13) and by the ReQISC-Eff /
+ReQISC-Full trade-off discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.metrics import count_distinct_two_qubit_gates, count_two_qubit_gates
+
+__all__ = ["CalibrationModel", "CalibrationReport", "distinct_su4_report"]
+
+
+@dataclass
+class CalibrationReport:
+    """Calibration accounting for one compiled program."""
+
+    total_two_qubit_gates: int
+    distinct_two_qubit_gates: int
+    calibration_cost: float
+
+    @property
+    def reuse_factor(self) -> float:
+        """Average number of uses per calibrated gate."""
+        if self.distinct_two_qubit_gates == 0:
+            return 0.0
+        return self.total_two_qubit_gates / self.distinct_two_qubit_gates
+
+
+@dataclass
+class CalibrationModel:
+    """Linear calibration cost model.
+
+    ``per_gate_cost`` is the experimental cost (arbitrary units, e.g. minutes)
+    of calibrating one distinct SU(4) instruction; ``baseline_gates`` is the
+    number of gates that are always maintained regardless of the program
+    (the CNOT-ISA baseline calibrates exactly one 2Q gate per pair).
+    """
+
+    per_gate_cost: float = 1.0
+    baseline_gates: int = 1
+
+    def report(self, circuit: QuantumCircuit) -> CalibrationReport:
+        """Calibration report for a compiled circuit."""
+        distinct = count_distinct_two_qubit_gates(circuit)
+        total = count_two_qubit_gates(circuit)
+        cost = self.per_gate_cost * max(distinct, self.baseline_gates)
+        return CalibrationReport(
+            total_two_qubit_gates=total,
+            distinct_two_qubit_gates=distinct,
+            calibration_cost=cost,
+        )
+
+    def compare(
+        self, circuits: Dict[str, QuantumCircuit]
+    ) -> Dict[str, CalibrationReport]:
+        """Reports for a set of labelled compiled circuits."""
+        return {label: self.report(circuit) for label, circuit in circuits.items()}
+
+
+def distinct_su4_report(
+    labelled_circuits: Iterable[Tuple[str, QuantumCircuit]],
+) -> List[Dict[str, float]]:
+    """Rows of (label, #2Q, distinct SU(4)) for the Figure 13 style summary."""
+    rows: List[Dict[str, float]] = []
+    for label, circuit in labelled_circuits:
+        rows.append(
+            {
+                "benchmark": label,
+                "num_2q": count_two_qubit_gates(circuit),
+                "distinct_su4": count_distinct_two_qubit_gates(circuit),
+            }
+        )
+    return rows

@@ -1,0 +1,24 @@
+"""Simulators: statevector, unitary construction and noisy trajectory sampling."""
+
+from repro.simulators.statevector import apply_gate, simulate_statevector
+from repro.simulators.unitary import circuit_unitary, embed_unitary
+from repro.simulators.fidelity import hellinger_fidelity, state_fidelity
+from repro.simulators.noise import (
+    DepolarizingNoiseModel,
+    duration_scaled_noise_model,
+    sample_counts,
+    simulate_noisy_probabilities,
+)
+
+__all__ = [
+    "apply_gate",
+    "simulate_statevector",
+    "circuit_unitary",
+    "embed_unitary",
+    "hellinger_fidelity",
+    "state_fidelity",
+    "DepolarizingNoiseModel",
+    "duration_scaled_noise_model",
+    "sample_counts",
+    "simulate_noisy_probabilities",
+]

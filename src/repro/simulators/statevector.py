@@ -1,0 +1,70 @@
+"""Dense statevector simulation.
+
+Gates are applied by reshaping the state into a rank-``n`` tensor and
+contracting the gate matrix against the target qubit axes.  Qubit 0 is the
+most significant bit of the computational-basis index (big-endian), matching
+the circuit/matrix convention of :mod:`repro.circuits`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+__all__ = ["apply_gate", "simulate_statevector", "probabilities"]
+
+
+def apply_gate(
+    state: np.ndarray,
+    matrix: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply a ``2^k x 2^k`` gate ``matrix`` on ``qubits`` of ``state``.
+
+    ``state`` may be a vector of length ``2^n`` or any array whose leading
+    dimension factors as ``2^n`` times trailing batch dimensions reshaped
+    away by the caller (the unitary simulator reuses this for matrices).
+    """
+    qubits = list(qubits)
+    k = len(qubits)
+    if matrix.shape != (2**k, 2**k):
+        raise ValueError("gate matrix does not match the number of target qubits")
+    total_dim = 2**num_qubits
+    batch = state.size // total_dim
+    tensor = np.reshape(state, [2] * num_qubits + ([batch] if batch > 1 else []))
+    # Move the target axes to the front, contract, and move them back.
+    source_axes = qubits
+    tensor = np.moveaxis(tensor, source_axes, range(k))
+    shape = tensor.shape
+    tensor = np.reshape(tensor, (2**k, -1))
+    tensor = matrix @ tensor
+    tensor = np.reshape(tensor, shape)
+    tensor = np.moveaxis(tensor, range(k), source_axes)
+    return np.reshape(tensor, state.shape)
+
+
+def simulate_statevector(
+    circuit: QuantumCircuit,
+    initial_state: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Run ``circuit`` on ``|0...0>`` (or ``initial_state``) and return the result."""
+    dim = 2**circuit.num_qubits
+    if initial_state is None:
+        state = np.zeros(dim, dtype=complex)
+        state[0] = 1.0
+    else:
+        state = np.asarray(initial_state, dtype=complex).copy()
+        if state.shape != (dim,):
+            raise ValueError(f"initial state must have length {dim}")
+    for instruction in circuit:
+        state = apply_gate(state, instruction.gate.matrix, instruction.qubits, circuit.num_qubits)
+    return state
+
+
+def probabilities(state: np.ndarray) -> np.ndarray:
+    """Measurement probabilities of a statevector in the computational basis."""
+    return np.abs(np.asarray(state)) ** 2

@@ -1,0 +1,61 @@
+"""Construct the unitary matrix of a circuit and embed gates into registers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.simulators.statevector import apply_gate
+
+__all__ = ["circuit_unitary", "embed_unitary", "permutation_unitary", "permute_distribution"]
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """Full ``2^n x 2^n`` unitary of ``circuit`` (exponential in ``n``)."""
+    if circuit.num_qubits > 14:
+        raise ValueError("refusing to build a unitary on more than 14 qubits")
+    dim = 2**circuit.num_qubits
+    unitary = np.eye(dim, dtype=complex)
+    for instruction in circuit:
+        # Treat the columns of the accumulated unitary as a batch of states.
+        unitary = apply_gate(
+            unitary, instruction.gate.matrix, instruction.qubits, circuit.num_qubits
+        )
+    return unitary
+
+
+def embed_unitary(
+    matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Embed a ``2^k``-dimensional unitary acting on ``qubits`` into ``2^n``."""
+    dim = 2**num_qubits
+    identity = np.eye(dim, dtype=complex)
+    return apply_gate(identity, np.asarray(matrix, dtype=complex), qubits, num_qubits)
+
+
+def permutation_unitary(permutation: Sequence[int]) -> np.ndarray:
+    """Unitary of a wire permutation (``permutation[logical] = wire``).
+
+    Used to undo the qubit relabelling accumulated by gate mirroring and by
+    routing when comparing compiled circuits against the original program.
+    """
+    num_qubits = len(permutation)
+    dim = 2**num_qubits
+    matrix = np.zeros((dim, dim))
+    for basis in range(dim):
+        bits = [(basis >> (num_qubits - 1 - q)) & 1 for q in range(num_qubits)]
+        new_bits = [0] * num_qubits
+        for logical, wire in enumerate(permutation):
+            new_bits[wire] = bits[logical]
+        target = sum(bit << (num_qubits - 1 - q) for q, bit in enumerate(new_bits))
+        matrix[target, basis] = 1.0
+    return matrix
+
+
+def permute_distribution(distribution: np.ndarray, permutation: Sequence[int]) -> np.ndarray:
+    """Apply a wire permutation to a computational-basis distribution."""
+    distribution = np.asarray(distribution, dtype=float)
+    matrix = permutation_unitary(permutation)
+    return matrix @ distribution

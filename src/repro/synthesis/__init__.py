@@ -1,0 +1,33 @@
+"""Synthesis engines: exact 1Q/2Q synthesis, numerical approximate synthesis,
+MCX decomposition and the pre-synthesized template library."""
+
+from repro.synthesis.one_qubit import one_qubit_circuit, u3_from_matrix
+from repro.synthesis.two_qubit import (
+    canonical_to_cnot_circuit,
+    two_qubit_to_can_circuit,
+    two_qubit_to_cnot_circuit,
+    two_qubit_to_fixed_basis_circuit,
+)
+from repro.synthesis.approximate import (
+    AnsatzBlock,
+    ApproximateSynthesizer,
+    SynthesisResult,
+)
+from repro.synthesis.mcx import decompose_mcx, expand_mcx_gates
+from repro.synthesis.templates import TemplateLibrary, default_template_library
+
+__all__ = [
+    "one_qubit_circuit",
+    "u3_from_matrix",
+    "canonical_to_cnot_circuit",
+    "two_qubit_to_can_circuit",
+    "two_qubit_to_cnot_circuit",
+    "two_qubit_to_fixed_basis_circuit",
+    "AnsatzBlock",
+    "ApproximateSynthesizer",
+    "SynthesisResult",
+    "decompose_mcx",
+    "expand_mcx_gates",
+    "TemplateLibrary",
+    "default_template_library",
+]

@@ -1,0 +1,247 @@
+"""Numerical approximate synthesis (the BQSKit-style kernel).
+
+Given a small (2-4 qubit) target unitary, find a circuit made of two-qubit
+blocks (parametrized canonical gates, or a fixed basis gate) interleaved with
+``U3`` gates that matches the target within a configurable infidelity.  This
+is the engine behind:
+
+* the hierarchical-synthesis pass (re-synthesizing 3-qubit partitions with
+  fewer SU(4) gates, Section 5.1),
+* the template pre-synthesis of the program-aware pass (Section 5.2),
+* fixed-basis decomposition of variational SU(4) gates (Section 5.3.1).
+
+The structural search follows the paper's approach: try increasingly long
+block sequences and numerically instantiate each (multi-start local
+optimization of the continuous parameters); stop at the first structure that
+reaches the requested precision.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.gates import standard
+from repro.linalg.su2 import u3_matrix
+from repro.linalg.weyl import canonical_gate
+from repro.simulators.statevector import apply_gate
+
+__all__ = ["AnsatzBlock", "SynthesisResult", "ApproximateSynthesizer", "default_pair_order"]
+
+
+@dataclass(frozen=True)
+class AnsatzBlock:
+    """One two-qubit block of a synthesis ansatz.
+
+    ``gate_name`` selects a fixed basis gate (``"sqisw"``, ``"b"``, ``"cx"``,
+    ...); ``None`` makes the block a fully parametrized canonical gate (three
+    continuous parameters).
+    """
+
+    pair: Tuple[int, int]
+    gate_name: Optional[str] = None
+
+    @property
+    def num_parameters(self) -> int:
+        """Continuous parameters contributed by the 2Q gate itself."""
+        return 3 if self.gate_name is None else 0
+
+
+@dataclass
+class SynthesisResult:
+    """A synthesized circuit together with its achieved precision."""
+
+    circuit: QuantumCircuit
+    infidelity: float
+    parameters: np.ndarray
+    blocks: Tuple[AnsatzBlock, ...]
+
+    @property
+    def two_qubit_count(self) -> int:
+        """Number of two-qubit gates in the synthesized circuit."""
+        return self.circuit.count_two_qubit_gates()
+
+
+def default_pair_order(num_qubits: int) -> List[Tuple[int, int]]:
+    """Round-robin ordering of qubit pairs used by the structural search."""
+    pairs = list(itertools.combinations(range(num_qubits), 2))
+    return pairs
+
+
+class ApproximateSynthesizer:
+    """Multi-start numerical instantiation plus structural search."""
+
+    def __init__(
+        self,
+        tolerance: float = 1e-8,
+        restarts: int = 3,
+        seed: int = 0,
+        max_iterations: int = 600,
+    ) -> None:
+        self.tolerance = tolerance
+        self.restarts = restarts
+        self.seed = seed
+        self.max_iterations = max_iterations
+        self._cache: Dict[bytes, SynthesisResult] = {}
+
+    # ------------------------------------------------------------------
+    # Parameter layout helpers.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _num_parameters(num_qubits: int, blocks: Sequence[AnsatzBlock]) -> int:
+        count = 3 * num_qubits  # initial U3 layer on every qubit
+        for block in blocks:
+            count += block.num_parameters + 6  # trailing U3 on the two block qubits
+        return count
+
+    @staticmethod
+    def _build_unitary(
+        params: np.ndarray, num_qubits: int, blocks: Sequence[AnsatzBlock]
+    ) -> np.ndarray:
+        dim = 2**num_qubits
+        unitary = np.eye(dim, dtype=complex)
+        cursor = 0
+        for qubit in range(num_qubits):
+            theta, phi, lam = params[cursor : cursor + 3]
+            cursor += 3
+            unitary = apply_gate(unitary, u3_matrix(theta, phi, lam), [qubit], num_qubits)
+        for block in blocks:
+            if block.gate_name is None:
+                x, y, z = params[cursor : cursor + 3]
+                cursor += 3
+                matrix = canonical_gate(x, y, z)
+            else:
+                matrix = standard.named_gate(block.gate_name).matrix
+            unitary = apply_gate(unitary, matrix, block.pair, num_qubits)
+            for qubit in block.pair:
+                theta, phi, lam = params[cursor : cursor + 3]
+                cursor += 3
+                unitary = apply_gate(unitary, u3_matrix(theta, phi, lam), [qubit], num_qubits)
+        return unitary
+
+    @staticmethod
+    def _build_circuit(
+        params: np.ndarray, num_qubits: int, blocks: Sequence[AnsatzBlock]
+    ) -> QuantumCircuit:
+        circuit = QuantumCircuit(num_qubits, "approx_synthesis")
+        cursor = 0
+        for qubit in range(num_qubits):
+            theta, phi, lam = params[cursor : cursor + 3]
+            cursor += 3
+            circuit.u3(theta, phi, lam, qubit)
+        for block in blocks:
+            if block.gate_name is None:
+                x, y, z = params[cursor : cursor + 3]
+                cursor += 3
+                circuit.can(x, y, z, *block.pair)
+            else:
+                circuit.append(standard.named_gate(block.gate_name), block.pair)
+            for qubit in block.pair:
+                theta, phi, lam = params[cursor : cursor + 3]
+                cursor += 3
+                circuit.u3(theta, phi, lam, qubit)
+        return circuit
+
+    # ------------------------------------------------------------------
+    # Numerical instantiation.
+    # ------------------------------------------------------------------
+    def instantiate(
+        self,
+        target: np.ndarray,
+        num_qubits: int,
+        blocks: Sequence[AnsatzBlock],
+        initial_parameters: Optional[np.ndarray] = None,
+    ) -> Optional[SynthesisResult]:
+        """Optimize the continuous parameters of a fixed block structure.
+
+        Returns the best result found (which may exceed the tolerance), or
+        ``None`` when the optimizer failed outright.
+        """
+        target = np.asarray(target, dtype=complex)
+        dim = target.shape[0]
+        target_dag = target.conj().T
+        num_params = self._num_parameters(num_qubits, blocks)
+        rng = np.random.default_rng(self.seed)
+
+        def infidelity(params: np.ndarray) -> float:
+            trial = self._build_unitary(params, num_qubits, blocks)
+            overlap = np.trace(target_dag @ trial)
+            return 1.0 - abs(overlap) / dim
+
+        best_params: Optional[np.ndarray] = None
+        best_value = math.inf
+        starts: List[np.ndarray] = []
+        if initial_parameters is not None:
+            starts.append(np.asarray(initial_parameters, dtype=float))
+        starts.append(np.zeros(num_params) + 0.1)
+        while len(starts) < self.restarts + (1 if initial_parameters is not None else 0) + 1:
+            starts.append(rng.uniform(-math.pi, math.pi, size=num_params))
+
+        for start in starts:
+            result = minimize(
+                infidelity,
+                x0=start,
+                method="L-BFGS-B",
+                options={"maxiter": self.max_iterations, "ftol": 1e-16, "gtol": 1e-12},
+            )
+            value = float(result.fun)
+            if value < best_value:
+                best_value = value
+                best_params = result.x
+            if best_value <= self.tolerance:
+                break
+        if best_params is None:
+            return None
+        circuit = self._build_circuit(best_params, num_qubits, blocks)
+        return SynthesisResult(
+            circuit=circuit,
+            infidelity=best_value,
+            parameters=best_params,
+            blocks=tuple(blocks),
+        )
+
+    # ------------------------------------------------------------------
+    # Structural search.
+    # ------------------------------------------------------------------
+    def synthesize(
+        self,
+        target: np.ndarray,
+        num_qubits: int,
+        max_blocks: int,
+        min_blocks: int = 0,
+        pair_order: Optional[Sequence[Tuple[int, int]]] = None,
+        use_cache: bool = True,
+    ) -> Optional[SynthesisResult]:
+        """Find a short SU(4)-block circuit for ``target``.
+
+        Block structures are linear sequences whose qubit pairs cycle through
+        ``pair_order`` (all pairs by default).  The first structure reaching
+        the tolerance wins; otherwise the best attempt is returned.
+        """
+        target = np.asarray(target, dtype=complex)
+        cache_key = None
+        if use_cache:
+            cache_key = np.round(target, 10).tobytes() + bytes([max_blocks, min_blocks])
+            if cache_key in self._cache:
+                return self._cache[cache_key]
+        pairs = list(pair_order) if pair_order is not None else default_pair_order(num_qubits)
+        best: Optional[SynthesisResult] = None
+        for count in range(min_blocks, max_blocks + 1):
+            blocks = [AnsatzBlock(pair=pairs[i % len(pairs)]) for i in range(count)]
+            result = self.instantiate(target, num_qubits, blocks)
+            if result is None:
+                continue
+            if best is None or result.infidelity < best.infidelity:
+                best = result
+            if result.infidelity <= self.tolerance:
+                best = result
+                break
+        if use_cache and cache_key is not None and best is not None:
+            self._cache[cache_key] = best
+        return best

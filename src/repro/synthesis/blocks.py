@@ -1,0 +1,139 @@
+"""Two-qubit block collection and consolidation.
+
+This is the first tier of the hierarchical-synthesis pipeline (Section 5.1.2):
+maximal runs of gates acting on the same qubit pair are collected and fused
+into a single SU(4) operation.  The same machinery backs the baseline
+compilers' block-consolidation pass (re-synthesizing each run with the
+minimal number of CNOTs) and the template library's post-assembly fusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.instruction import Instruction
+from repro.gates.gate import UnitaryGate
+from repro.simulators.statevector import apply_gate
+
+__all__ = ["TwoQubitBlock", "collect_two_qubit_blocks", "consolidate_blocks", "block_unitary"]
+
+OutputForm = Literal["unitary", "can", "cx"]
+
+
+@dataclass
+class TwoQubitBlock:
+    """A maximal run of instructions confined to one unordered qubit pair."""
+
+    qubits: Tuple[int, int]
+    instructions: List[Instruction] = field(default_factory=list)
+    start_position: int = 0
+
+    @property
+    def num_two_qubit_gates(self) -> int:
+        """Number of 2Q gates inside the block."""
+        return sum(1 for instr in self.instructions if instr.is_two_qubit)
+
+
+def block_unitary(block: TwoQubitBlock) -> np.ndarray:
+    """4x4 unitary of a block, with ``block.qubits[0]`` as the first qubit."""
+    local_index = {block.qubits[0]: 0, block.qubits[1]: 1}
+    unitary = np.eye(4, dtype=complex)
+    for instruction in block.instructions:
+        local_qubits = [local_index[q] for q in instruction.qubits]
+        unitary = apply_gate(unitary, instruction.gate.matrix, local_qubits, 2)
+    return unitary
+
+
+def collect_two_qubit_blocks(circuit: QuantumCircuit) -> Tuple[List[TwoQubitBlock], List[Tuple[int, Instruction]]]:
+    """Partition a circuit into 2Q blocks plus leftover standalone instructions.
+
+    Returns ``(blocks, leftovers)`` where every instruction of the circuit is
+    either a member of exactly one block or listed (with its position) in
+    ``leftovers``.  Blocks contain at least one two-qubit gate; single-qubit
+    gates sandwiched inside a run join the surrounding block.
+    """
+    blocks: List[TwoQubitBlock] = []
+    leftovers: List[Tuple[int, Instruction]] = []
+    open_block_for_qubit: Dict[int, Optional[int]] = {}
+
+    def close_qubit(qubit: int) -> None:
+        open_block_for_qubit[qubit] = None
+
+    for position, instruction in enumerate(circuit):
+        qubits = instruction.qubits
+        if instruction.num_qubits == 2:
+            pair = tuple(sorted(qubits))
+            idx0 = open_block_for_qubit.get(pair[0])
+            idx1 = open_block_for_qubit.get(pair[1])
+            if idx0 is not None and idx0 == idx1 and blocks[idx0].qubits == pair:
+                blocks[idx0].instructions.append(instruction)
+            else:
+                for qubit in pair:
+                    existing = open_block_for_qubit.get(qubit)
+                    if existing is not None:
+                        close_qubit(qubit)
+                blocks.append(TwoQubitBlock(qubits=pair, instructions=[instruction], start_position=position))
+                index = len(blocks) - 1
+                open_block_for_qubit[pair[0]] = index
+                open_block_for_qubit[pair[1]] = index
+        elif instruction.num_qubits == 1:
+            qubit = qubits[0]
+            index = open_block_for_qubit.get(qubit)
+            if index is not None:
+                blocks[index].instructions.append(instruction)
+            else:
+                leftovers.append((position, instruction))
+        else:
+            for qubit in qubits:
+                if open_block_for_qubit.get(qubit) is not None:
+                    close_qubit(qubit)
+            leftovers.append((position, instruction))
+    return blocks, leftovers
+
+
+def consolidate_blocks(
+    circuit: QuantumCircuit,
+    form: OutputForm = "unitary",
+    only_if_fewer_gates: bool = False,
+) -> QuantumCircuit:
+    """Fuse every maximal 2Q run of ``circuit`` into a single operation.
+
+    ``form`` selects the representation of the fused block: an opaque
+    ``UnitaryGate`` (``"unitary"``), a ``{Can, U3}`` synthesis (``"can"``) or a
+    minimal-CNOT synthesis (``"cx"``).  With ``only_if_fewer_gates`` the
+    original run is kept whenever re-synthesis would not reduce its 2Q count
+    (used by the CNOT baselines).
+    """
+    from repro.synthesis.two_qubit import two_qubit_to_can_circuit, two_qubit_to_cnot_circuit
+
+    blocks, leftovers = collect_two_qubit_blocks(circuit)
+    emissions: Dict[int, List[Instruction]] = {}
+    for position, instruction in leftovers:
+        emissions.setdefault(position, []).append(instruction)
+
+    for block in blocks:
+        matrix = block_unitary(block)
+        if form == "unitary":
+            replacement = [Instruction(UnitaryGate(matrix, label="su4"), block.qubits)]
+        else:
+            if form == "can":
+                synthesized = two_qubit_to_can_circuit(matrix, qubits=(0, 1))
+            else:
+                synthesized = two_qubit_to_cnot_circuit(matrix, qubits=(0, 1))
+            mapping = {0: block.qubits[0], 1: block.qubits[1]}
+            replacement = [instr.remap(mapping) for instr in synthesized]
+            if only_if_fewer_gates:
+                new_count = sum(1 for instr in replacement if instr.is_two_qubit)
+                if new_count >= block.num_two_qubit_gates:
+                    replacement = list(block.instructions)
+        emissions.setdefault(block.start_position, []).extend(replacement)
+
+    result = QuantumCircuit(circuit.num_qubits, circuit.name)
+    for position in range(len(circuit)):
+        for instruction in emissions.get(position, []):
+            result.append(instruction.gate, instruction.qubits)
+    return result

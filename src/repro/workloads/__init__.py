@@ -1,0 +1,49 @@
+"""Benchmark-suite workload generators (Table 1 categories)."""
+
+from repro.workloads.arithmetic import (
+    alu_circuit,
+    bit_adder,
+    comparator,
+    encoding_circuit,
+    modulo_adder,
+    multiplier,
+    ripple_carry_adder,
+    square_circuit,
+)
+from repro.workloads.algorithms import (
+    grover_circuit,
+    hamiltonian_simulation,
+    qaoa_maxcut,
+    qft_circuit,
+    uccsd_like,
+)
+from repro.workloads.reversible import (
+    hidden_weighted_bit,
+    random_reversible,
+    symmetric_function,
+    toffoli_chain,
+)
+from repro.workloads.suite import BenchmarkCase, benchmark_suite, suite_categories
+
+__all__ = [
+    "alu_circuit",
+    "bit_adder",
+    "comparator",
+    "encoding_circuit",
+    "modulo_adder",
+    "multiplier",
+    "ripple_carry_adder",
+    "square_circuit",
+    "grover_circuit",
+    "hamiltonian_simulation",
+    "qaoa_maxcut",
+    "qft_circuit",
+    "uccsd_like",
+    "hidden_weighted_bit",
+    "random_reversible",
+    "symmetric_function",
+    "toffoli_chain",
+    "BenchmarkCase",
+    "benchmark_suite",
+    "suite_categories",
+]

@@ -1,0 +1,81 @@
+"""Reversible-function workloads (hwb, sym, urf, tof categories).
+
+The original benchmarks come from RevLib ``.real`` files; the generators here
+produce structurally equivalent circuit families (MCT cascades over a fixed
+register) at configurable sizes, as documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+__all__ = [
+    "toffoli_chain",
+    "hidden_weighted_bit",
+    "symmetric_function",
+    "random_reversible",
+]
+
+
+def toffoli_chain(num_qubits: int = 5) -> QuantumCircuit:
+    """The tof_n family: a ladder of overlapping Toffoli gates."""
+    circuit = QuantumCircuit(num_qubits, f"tof_{num_qubits}")
+    for i in range(num_qubits - 2):
+        circuit.ccx(i, i + 1, i + 2)
+    for i in reversed(range(num_qubits - 2)):
+        circuit.ccx(i, i + 1, i + 2)
+    return circuit
+
+
+def hidden_weighted_bit(num_qubits: int = 4, seed: int = 13) -> QuantumCircuit:
+    """hwb-style benchmark: weight-dependent bit permutation as an MCT cascade."""
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, f"hwb_{num_qubits}")
+    for weight in range(1, num_qubits):
+        controls = list(rng.choice(num_qubits, size=min(weight, num_qubits - 1), replace=False))
+        target = int(rng.choice([q for q in range(num_qubits) if q not in controls]))
+        if len(controls) == 1:
+            circuit.cx(int(controls[0]), target)
+        elif len(controls) == 2:
+            circuit.ccx(int(controls[0]), int(controls[1]), target)
+        else:
+            circuit.mcx([int(c) for c in controls[:2]], target)
+        circuit.x(target)
+        circuit.cx(target, int(controls[0]))
+    return circuit
+
+
+def symmetric_function(num_qubits: int = 6, seed: int = 17) -> QuantumCircuit:
+    """sym-style benchmark: threshold/symmetric functions via CCX cascades."""
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, f"sym_{num_qubits}")
+    data = num_qubits - 2
+    for i in range(data):
+        circuit.ccx(i, (i + 1) % data, data)
+        circuit.cx(data, data + 1)
+        circuit.ccx((i + 1) % data, (i + 2) % data, data + 1)
+    for _ in range(data):
+        a, b = rng.choice(data, size=2, replace=False)
+        circuit.ccx(int(a), int(b), data)
+    return circuit
+
+
+def random_reversible(
+    num_qubits: int = 6, num_gates: int = 30, seed: int = 19
+) -> QuantumCircuit:
+    """urf-style benchmark: long random MCT cascades (random reversible functions)."""
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, f"urf_{num_qubits}")
+    for _ in range(num_gates):
+        kind = rng.integers(3)
+        if kind == 0:
+            circuit.x(int(rng.integers(num_qubits)))
+        elif kind == 1:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circuit.cx(int(a), int(b))
+        else:
+            a, b, c = rng.choice(num_qubits, size=3, replace=False)
+            circuit.ccx(int(a), int(b), int(c))
+    return circuit

@@ -1,0 +1,105 @@
+"""The benchmark suite: one generator call per Table 1 category.
+
+Three scales are provided; ``"tiny"`` keeps every circuit small enough for
+exact unitary checks, ``"small"`` (default) mirrors the structure of the
+paper's suite at laptop-friendly sizes, ``"medium"`` grows the programs for
+the topology-aware and scalability experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.workloads import algorithms, arithmetic, reversible
+
+__all__ = ["BenchmarkCase", "benchmark_suite", "suite_categories"]
+
+
+@dataclass
+class BenchmarkCase:
+    """One benchmark program with its category label."""
+
+    name: str
+    category: str
+    circuit: QuantumCircuit
+    is_variational: bool = False
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits of the program."""
+        return self.circuit.num_qubits
+
+
+_SCALES = ("tiny", "small", "medium")
+
+
+def _builders(scale: str) -> Dict[str, Callable[[], QuantumCircuit]]:
+    sizes = {
+        "tiny": dict(alu=4, adder_bits=1, comp=1, enc=4, grover=3, hwb=4, mod=2, mult=1,
+                     pf=4, qaoa=4, qft=4, rip=1, square=1, sym=5, tof=4, uccsd=4, urf=4, urf_gates=14),
+        "small": dict(alu=5, adder_bits=2, comp=2, enc=5, grover=4, hwb=5, mod=2, mult=2,
+                      pf=5, qaoa=6, qft=5, rip=2, square=2, sym=6, tof=5, uccsd=4, urf=6, urf_gates=24),
+        "medium": dict(alu=6, adder_bits=3, comp=3, enc=7, grover=5, hwb=6, mod=3, mult=2,
+                       pf=7, qaoa=8, qft=7, rip=3, square=2, sym=7, tof=7, uccsd=6, urf=8, urf_gates=40),
+    }[scale]
+    return {
+        "alu": lambda: arithmetic.alu_circuit(sizes["alu"], depth=5),
+        "bit_adder": lambda: arithmetic.bit_adder(sizes["adder_bits"]),
+        "comparator": lambda: arithmetic.comparator(sizes["comp"]),
+        "encoding": lambda: arithmetic.encoding_circuit(sizes["enc"]),
+        "grover": lambda: algorithms.grover_circuit(sizes["grover"], iterations=1),
+        "hwb": lambda: reversible.hidden_weighted_bit(sizes["hwb"]),
+        "modulo": lambda: arithmetic.modulo_adder(sizes["mod"]),
+        "mult": lambda: arithmetic.multiplier(sizes["mult"]),
+        "pf": lambda: algorithms.hamiltonian_simulation(sizes["pf"], steps=2),
+        "qaoa": lambda: algorithms.qaoa_maxcut(sizes["qaoa"], layers=2),
+        "qft": lambda: algorithms.qft_circuit(sizes["qft"]),
+        "ripple_add": lambda: arithmetic.ripple_carry_adder(sizes["rip"]),
+        "square": lambda: arithmetic.square_circuit(sizes["square"]),
+        "sym": lambda: reversible.symmetric_function(sizes["sym"]),
+        "tof": lambda: reversible.toffoli_chain(sizes["tof"]),
+        "uccsd": lambda: algorithms.uccsd_like(sizes["uccsd"], num_excitations=3),
+        "urf": lambda: reversible.random_reversible(sizes["urf"], num_gates=sizes["urf_gates"]),
+    }
+
+
+_VARIATIONAL = {"qaoa", "uccsd", "pf"}
+
+
+def suite_categories() -> List[str]:
+    """Names of the Table 1 benchmark categories."""
+    return sorted(_builders("small"))
+
+
+def benchmark_suite(
+    scale: str = "small",
+    categories: Optional[Sequence[str]] = None,
+    max_qubits: Optional[int] = None,
+) -> List[BenchmarkCase]:
+    """Build the benchmark suite at the requested scale.
+
+    ``categories`` restricts the output; ``max_qubits`` drops programs larger
+    than the given register (useful for exact-verification experiments).
+    """
+    if scale not in _SCALES:
+        raise ValueError(f"scale must be one of {_SCALES}")
+    builders = _builders(scale)
+    selected = categories if categories is not None else sorted(builders)
+    cases: List[BenchmarkCase] = []
+    for category in selected:
+        if category not in builders:
+            raise KeyError(f"unknown benchmark category {category!r}")
+        circuit = builders[category]()
+        if max_qubits is not None and circuit.num_qubits > max_qubits:
+            continue
+        cases.append(
+            BenchmarkCase(
+                name=circuit.name,
+                category=category,
+                circuit=circuit,
+                is_variational=category in _VARIATIONAL,
+            )
+        )
+    return cases

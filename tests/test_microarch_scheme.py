@@ -1,0 +1,283 @@
+"""Tests for the genAshN pulse solvers (Algorithm 1) and the calibration model.
+
+The key property is end-to-end: for named and random targets under several
+coupling Hamiltonians, the pulse program returned by the scheme must realize
+the target gate exactly (up to global phase) with the time-optimal duration.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.gates import standard
+from repro.linalg.constants import PAULI_Z, XX
+from repro.linalg.predicates import allclose_up_to_global_phase
+from repro.linalg.random import haar_random_su4, random_weyl_coordinates
+from repro.linalg.weyl import canonical_gate, weyl_coordinates
+from repro.microarch.calibration import CalibrationModel, distinct_su4_report
+from repro.microarch.durations import SubScheme, optimal_duration
+from repro.microarch.ea import (
+    alpha_beta_residual_map,
+    alpha_beta_to_drives,
+    solve_ea,
+    trial_unitary,
+)
+from repro.microarch.hamiltonian import CouplingHamiltonian
+from repro.microarch.nd import smallest_sinc_root, solve_nd
+from repro.microarch.scheme import GenAshNScheme
+
+PI = math.pi
+PI_4 = math.pi / 4.0
+PI_8 = math.pi / 8.0
+
+XY = CouplingHamiltonian.xy(1.0)
+XXC = CouplingHamiltonian.xx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# ND solver.
+# ---------------------------------------------------------------------------
+
+
+def test_smallest_sinc_root_trivial():
+    # At the boundary the root is S_min itself.
+    tau = 1.0
+    s_min = 0.5
+    target = math.sin(s_min * tau) / s_min
+    assert smallest_sinc_root(target, s_min, tau) == pytest.approx(s_min)
+
+
+def test_smallest_sinc_root_interior():
+    tau, s_min = 0.8, 0.3
+    root = smallest_sinc_root(0.2, s_min, tau)
+    assert root >= s_min
+    assert math.sin(root * tau) / root == pytest.approx(0.2, abs=1e-12)
+
+
+def test_solve_nd_cnot_under_xy():
+    coords = (PI_4, 0.0, 0.0)
+    breakdown = optimal_duration(coords, XY)
+    assert breakdown.subscheme == SubScheme.ND
+    omega1, omega2, delta = solve_nd(coords, XY.coefficients, breakdown.duration)
+    assert delta == 0.0
+    trial = trial_unitary(XY.coefficients, breakdown.duration, omega1, omega2, delta)
+    achieved = weyl_coordinates(trial)
+    # The ND analytic branch may land on the z-reflected representative; the
+    # scheme (GenAshNScheme) resolves this, here we only check x and y.
+    assert achieved[0] == pytest.approx(PI_4, abs=1e-7)
+    assert achieved[1] == pytest.approx(0.0, abs=1e-7)
+
+
+def test_solve_nd_iswap_requires_no_drive():
+    # iSWAP under XY coupling is the bare coupling evolution: no local drives.
+    coords = (PI_4, PI_4, 0.0)
+    breakdown = optimal_duration(coords, XY)
+    omega1, omega2, delta = solve_nd(coords, XY.coefficients, breakdown.duration)
+    assert omega1 == pytest.approx(0.0, abs=1e-9)
+    assert omega2 == pytest.approx(0.0, abs=1e-9)
+    assert delta == 0.0
+
+
+# ---------------------------------------------------------------------------
+# EA solver.
+# ---------------------------------------------------------------------------
+
+
+def test_solve_ea_swap_under_xx():
+    # The worked example of Figure 4: SWAP under XX coupling uses EA+.
+    coords = (PI_4, PI_4, PI_4)
+    breakdown = optimal_duration(coords, XXC)
+    assert breakdown.subscheme in (SubScheme.EA_PLUS, SubScheme.EA_MINUS)
+    omega1, omega2, delta = solve_ea(
+        coords, XXC.coefficients, breakdown.duration, breakdown.subscheme
+    )
+    trial = trial_unitary(XXC.coefficients, breakdown.duration, omega1, omega2, delta)
+    assert np.allclose(weyl_coordinates(trial), coords, atol=1e-6)
+
+
+def test_solve_ea_rejects_nd():
+    with pytest.raises(ValueError):
+        solve_ea((PI_4, 0, 0), XY.coefficients, PI / 2, SubScheme.ND)
+
+
+def test_alpha_beta_to_drives_signs():
+    omega1, omega2, delta = alpha_beta_to_drives(0.3, 0.5, XXC.coefficients, SubScheme.EA_PLUS)
+    assert omega1 == 0.0
+    assert omega2 >= 0.0
+    assert delta <= 0.0
+    omega1, omega2, delta = alpha_beta_to_drives(0.3, 0.5, XXC.coefficients, SubScheme.EA_MINUS)
+    assert omega2 == 0.0
+    assert omega1 >= 0.0
+    assert delta >= 0.0
+
+
+def test_alpha_beta_residual_map_has_solutions():
+    # Figure 4: the residual landscape for SWAP under XX coupling contains
+    # zero-level points (valid solutions of the transcendental equations).
+    coords = (PI_4, PI_4, PI_4)
+    breakdown = optimal_duration(coords, XXC)
+    alphas = np.linspace(0.0, 1.0, 25)
+    betas = np.linspace(0.0, 2.0, 25)
+    landscape = alpha_beta_residual_map(
+        coords, XXC.coefficients, breakdown.duration, breakdown.subscheme, alphas, betas
+    )
+    assert landscape.shape == (25, 25)
+    assert landscape.min() < 0.05
+    assert landscape.max() > 0.5
+
+
+# ---------------------------------------------------------------------------
+# Full scheme (Algorithm 1 end to end).
+# ---------------------------------------------------------------------------
+
+NAMED_TARGETS = [
+    ("cnot", standard.cx_gate().matrix),
+    ("cz", standard.cz_gate().matrix),
+    ("iswap", standard.iswap_gate().matrix),
+    ("sqisw", standard.sqisw_gate().matrix),
+    ("b", standard.b_gate().matrix),
+    ("swap", standard.swap_gate().matrix),
+]
+
+
+@pytest.mark.parametrize("name,target", NAMED_TARGETS, ids=[t[0] for t in NAMED_TARGETS])
+def test_scheme_realizes_named_gates_under_xy(name, target):
+    scheme = GenAshNScheme(XY)
+    program = scheme.compile_gate(target)
+    assert program.infidelity(target) < 1e-7
+    assert allclose_up_to_global_phase(program.realized_unitary(), target, atol=1e-6)
+
+
+@pytest.mark.parametrize("name,target", NAMED_TARGETS[:4], ids=[t[0] for t in NAMED_TARGETS[:4]])
+def test_scheme_realizes_named_gates_under_xx(name, target):
+    scheme = GenAshNScheme(XXC)
+    program = scheme.compile_gate(target)
+    assert program.infidelity(target) < 1e-7
+
+
+def test_scheme_duration_is_optimal():
+    scheme = GenAshNScheme(XY)
+    program = scheme.compile_gate(standard.cx_gate().matrix)
+    assert program.tau == pytest.approx(PI / 2.0)
+    program = scheme.compile_gate(standard.swap_gate().matrix)
+    assert program.tau == pytest.approx(0.75 * PI)
+
+
+def test_scheme_iswap_needs_no_drive_under_xy():
+    scheme = GenAshNScheme(XY)
+    program = scheme.compile_gate(standard.iswap_gate().matrix)
+    assert abs(program.omega1) < 1e-7
+    assert abs(program.omega2) < 1e-7
+    assert abs(program.delta) < 1e-9
+
+
+def test_scheme_accepts_coordinates_input():
+    scheme = GenAshNScheme(XY)
+    program = scheme.compile_gate((PI_8, PI_8, 0.0))
+    target = canonical_gate(PI_8, PI_8, 0.0)
+    assert program.infidelity(target) < 1e-7
+    assert program.tau == pytest.approx(PI / 4.0)
+
+
+def test_scheme_random_su4_targets_under_xy():
+    rng = np.random.default_rng(5)
+    scheme = GenAshNScheme(XY)
+    for _ in range(3):
+        target = haar_random_su4(rng)
+        program = scheme.compile_gate(target)
+        assert program.infidelity(target) < 1e-6
+        breakdown = optimal_duration(weyl_coordinates(target), XY)
+        assert program.tau == pytest.approx(breakdown.duration)
+
+
+def test_scheme_random_target_under_random_coupling():
+    coupling = CouplingHamiltonian.from_coefficients(0.55, 0.35, 0.10, label="random")
+    scheme = GenAshNScheme(coupling)
+    target = haar_random_su4(np.random.default_rng(9))
+    program = scheme.compile_gate(target)
+    assert program.infidelity(target) < 1e-6
+
+
+def test_scheme_with_lab_frame_hamiltonian():
+    # Eq. (7): detuned lab-frame Hamiltonian with XX coupling and Z fields.
+    matrix = (
+        -0.4 * np.kron(PAULI_Z, np.eye(2))
+        - 0.3 * np.kron(np.eye(2), PAULI_Z)
+        + 1.0 * XX
+    )
+    coupling = CouplingHamiltonian.from_matrix(matrix, label="lab-frame")
+    scheme = GenAshNScheme(coupling)
+    target = standard.cx_gate().matrix
+    program = scheme.compile_gate(target)
+    assert program.infidelity(target) < 1e-6
+    # The physical drive Hamiltonians compensate the local Z fields.
+    h1, h2 = program.physical_drive_hamiltonians()
+    assert h1.shape == h2.shape == (2, 2)
+
+
+def test_pulse_program_reports():
+    scheme = GenAshNScheme(XY)
+    program = scheme.compile_gate(standard.cx_gate().matrix)
+    amp1, amp2 = program.drive_amplitudes
+    assert program.max_drive_amplitude == pytest.approx(max(abs(amp1), abs(amp2)))
+    assert program.subscheme in (SubScheme.ND, SubScheme.EA_PLUS, SubScheme.EA_MINUS)
+    h1, h2 = program.drive_hamiltonians()
+    assert np.allclose(h1, h1.conj().T)
+    assert np.allclose(h2, h2.conj().T)
+
+
+def test_scheme_near_identity_detection_and_mirror():
+    scheme = GenAshNScheme(XY, mirror_threshold=0.15)
+    assert scheme.is_near_identity((0.02, 0.01, 0.0))
+    assert not scheme.is_near_identity((PI_4, 0.0, 0.0))
+    mirrored = scheme.mirror((0.02, 0.01, 0.0))
+    assert not scheme.is_near_identity(mirrored)
+    # Mirrored coordinates are far from the origin (close to the SWAP corner).
+    assert sum(abs(c) for c in mirrored) > 1.5
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_scheme_realizes_random_chamber_points(seed):
+    coords = random_weyl_coordinates(np.random.default_rng(seed))
+    # Skip near-identity points: they are handled by compile-time mirroring.
+    if sum(abs(c) for c in coords) < 0.2:
+        coords = (PI_4, PI_8, 0.0)
+    scheme = GenAshNScheme(XY)
+    program = scheme.compile_gate(coords)
+    target = canonical_gate(*coords)
+    assert program.infidelity(target) < 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Calibration model.
+# ---------------------------------------------------------------------------
+
+
+def test_calibration_report_counts_distinct_gates():
+    circuit = QuantumCircuit(3)
+    circuit.can(PI_4, 0.0, 0.0, 0, 1)
+    circuit.can(PI_4, 0.0, 0.0, 1, 2)
+    circuit.can(PI_8, PI_8, 0.0, 0, 2)
+    model = CalibrationModel(per_gate_cost=2.0)
+    report = model.report(circuit)
+    assert report.total_two_qubit_gates == 3
+    assert report.distinct_two_qubit_gates == 2
+    assert report.calibration_cost == pytest.approx(4.0)
+    assert report.reuse_factor == pytest.approx(1.5)
+
+
+def test_calibration_compare_and_rows():
+    eff = QuantumCircuit(2)
+    eff.can(PI_4, 0.0, 0.0, 0, 1)
+    full = QuantumCircuit(2)
+    full.can(PI_4, 0.0, 0.0, 0, 1).can(0.3, 0.2, 0.1, 0, 1)
+    model = CalibrationModel()
+    reports = model.compare({"eff": eff, "full": full})
+    assert reports["eff"].distinct_two_qubit_gates <= reports["full"].distinct_two_qubit_gates
+    rows = distinct_su4_report([("eff", eff), ("full", full)])
+    assert rows[0]["benchmark"] == "eff"
+    assert rows[1]["distinct_su4"] == 2

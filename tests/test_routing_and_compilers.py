@@ -1,0 +1,239 @@
+"""Tests for coupling maps, SABRE / mirroring-SABRE and the end-to-end compilers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.baselines import CnotBaselineCompiler, Su4FusionBaselineCompiler
+from repro.compiler.reqisc import ReQISCCompiler
+from repro.compiler.routing.coupling_map import CouplingMap
+from repro.compiler.routing.sabre import SabreRouter
+from repro.linalg.predicates import allclose_up_to_global_phase
+from repro.microarch.hamiltonian import CouplingHamiltonian
+from repro.simulators.unitary import permutation_unitary
+
+PI_4 = math.pi / 4.0
+
+
+# ---------------------------------------------------------------------------
+# Coupling maps.
+# ---------------------------------------------------------------------------
+
+
+def test_line_coupling_map():
+    chain = CouplingMap.line(5)
+    assert chain.num_qubits == 5
+    assert chain.is_connected(0, 1)
+    assert not chain.is_connected(0, 2)
+    assert chain.distance(0, 4) == 4
+    assert chain.neighbors(2) == [1, 3]
+
+
+def test_grid_coupling_map():
+    grid = CouplingMap.grid(2, 3)
+    assert grid.num_qubits == 6
+    assert grid.is_connected(0, 3)
+    assert grid.is_connected(1, 2)
+    assert grid.distance(0, 5) == 3
+    auto = CouplingMap.grid_for(7)
+    assert auto.num_qubits >= 7
+
+
+def test_all_to_all_coupling_map():
+    full = CouplingMap.all_to_all(4)
+    assert full.distance(0, 3) == 1
+    assert len(full.edges) == 6
+
+
+# ---------------------------------------------------------------------------
+# SABRE routing.
+# ---------------------------------------------------------------------------
+
+
+def _routed_equivalent(original, result):
+    """Check that the routed circuit equals (final permutation) o original."""
+    routed_unitary = result.circuit.to_unitary()
+    expected = permutation_unitary(result.final_layout) @ original.to_unitary()
+    return allclose_up_to_global_phase(routed_unitary, expected, atol=1e-6)
+
+
+def _nonlocal_circuit(num_qubits=4, layers=3):
+    circuit = QuantumCircuit(num_qubits)
+    for layer in range(layers):
+        for a in range(num_qubits):
+            b = (a + 2) % num_qubits
+            if a < b:
+                circuit.cx(a, b)
+        circuit.cx(0, num_qubits - 1)
+        circuit.t(layer % num_qubits)
+    return circuit
+
+
+def test_sabre_no_swaps_needed_for_adjacent_gates():
+    chain = CouplingMap.line(3)
+    circuit = QuantumCircuit(3)
+    circuit.cx(0, 1).cx(1, 2)
+    result = SabreRouter(chain).run(circuit)
+    assert result.inserted_swaps == 0
+    assert result.final_layout == [0, 1, 2]
+    assert _routed_equivalent(circuit, result)
+
+
+def test_sabre_inserts_swaps_on_chain():
+    chain = CouplingMap.line(4)
+    circuit = _nonlocal_circuit(4)
+    result = SabreRouter(chain).run(circuit)
+    assert result.inserted_swaps > 0
+    # Every 2Q gate in the routed circuit respects the topology.
+    for instruction in result.circuit:
+        if instruction.is_two_qubit:
+            assert chain.is_connected(*instruction.qubits)
+    assert _routed_equivalent(circuit, result)
+
+
+def test_sabre_rejects_oversized_circuit():
+    with pytest.raises(ValueError):
+        SabreRouter(CouplingMap.line(2)).run(QuantumCircuit(3).cx(0, 2))
+
+
+def test_mirroring_sabre_absorbs_swaps():
+    chain = CouplingMap.line(4)
+    circuit = _nonlocal_circuit(4)
+    plain = SabreRouter(chain, mirroring=False).run(circuit)
+    mirrored = SabreRouter(chain, mirroring=True).run(circuit)
+    assert _routed_equivalent(circuit, mirrored)
+    # Mirroring-SABRE never does worse on the #2Q overhead and absorbs at
+    # least one SWAP on this workload.
+    plain_2q = plain.circuit.count_two_qubit_gates()
+    mirrored_2q = mirrored.circuit.count_two_qubit_gates()
+    assert mirrored_2q <= plain_2q
+    assert mirrored.absorbed_swaps >= 1
+
+
+def test_mirroring_sabre_on_grid():
+    grid = CouplingMap.grid(2, 3)
+    circuit = _nonlocal_circuit(6, layers=2)
+    result = SabreRouter(grid, mirroring=True).run(circuit)
+    for instruction in result.circuit:
+        if instruction.is_two_qubit:
+            assert grid.is_connected(*instruction.qubits)
+    assert _routed_equivalent(circuit, result)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end compilers.
+# ---------------------------------------------------------------------------
+
+
+def _toffoli_workload():
+    circuit = QuantumCircuit(4, "tof_chain")
+    circuit.x(0)
+    circuit.h(3)
+    circuit.ccx(0, 1, 2)
+    circuit.cx(2, 3)
+    circuit.ccx(1, 2, 3)
+    circuit.t(3)
+    circuit.ccx(0, 1, 2)
+    return circuit
+
+
+def _compiled_equivalent(original, result):
+    permutation = result.final_permutation
+    expected = permutation_unitary(permutation) @ original.to_unitary()
+    return allclose_up_to_global_phase(result.circuit.to_unitary(), expected, atol=1e-5)
+
+
+def test_cnot_baseline_compiler_correctness():
+    circuit = _toffoli_workload()
+    result = CnotBaselineCompiler(name="qiskit-like").compile(circuit)
+    assert set(result.circuit.count_by_name()) <= {"cx", "u3", "h", "t", "tdg", "x"}
+    assert _compiled_equivalent(circuit, result)
+    assert result.num_two_qubit_gates <= 20
+    summary = result.summary()
+    assert summary["compiler"] == "qiskit-like"
+
+
+def test_cnot_baseline_with_pauli_simp_merges_trotter_steps():
+    circuit = QuantumCircuit(3, "trotter")
+    for _ in range(3):
+        circuit.rzz(0.1, 0, 1)
+        circuit.rzz(0.2, 1, 2)
+    result = CnotBaselineCompiler(name="tket-like", pauli_simp=True).compile(circuit)
+    # Adjacent commuting ZZ rotations merge: 2 distinct pairs -> 2x2 CNOTs.
+    assert result.num_two_qubit_gates <= 6
+    assert _compiled_equivalent(circuit, result)
+
+
+def test_reqisc_eff_compiler_beats_baseline_on_2q_count():
+    circuit = _toffoli_workload()
+    baseline = CnotBaselineCompiler().compile(circuit)
+    reqisc = ReQISCCompiler(mode="eff").compile(circuit)
+    assert set(reqisc.circuit.count_by_name()) <= {"can", "u3"}
+    assert reqisc.num_two_qubit_gates < baseline.num_two_qubit_gates
+    assert _compiled_equivalent(circuit, reqisc)
+
+
+def test_reqisc_eff_has_few_distinct_gates():
+    circuit = _toffoli_workload()
+    reqisc = ReQISCCompiler(mode="eff").compile(circuit)
+    assert reqisc.distinct_two_qubit_gates <= 10
+
+
+def test_reqisc_full_compiler_correctness_and_reduction():
+    circuit = _toffoli_workload()
+    eff = ReQISCCompiler(mode="eff").compile(circuit)
+    full = ReQISCCompiler(mode="full", synthesis_tolerance=1e-6).compile(circuit)
+    assert _compiled_equivalent(circuit, full)
+    assert full.num_two_qubit_gates <= eff.num_two_qubit_gates
+
+
+def test_reqisc_duration_improves_over_baseline():
+    from repro.circuits.metrics import circuit_duration
+
+    circuit = _toffoli_workload()
+    coupling = CouplingHamiltonian.xy(1.0)
+    baseline = CnotBaselineCompiler().compile(circuit)
+    reqisc = ReQISCCompiler(mode="eff", coupling=coupling).compile(circuit)
+    assert reqisc.duration(coupling) < circuit_duration(baseline.circuit)
+
+
+def test_reqisc_with_routing_on_chain():
+    circuit = _toffoli_workload()
+    chain = CouplingMap.line(4)
+    result = ReQISCCompiler(mode="eff", coupling_map=chain).compile(circuit)
+    for instruction in result.circuit:
+        if instruction.is_two_qubit:
+            assert chain.is_connected(*instruction.qubits)
+    assert "final_layout" in result.properties
+    assert result.routing_overhead is not None
+
+
+def test_reqisc_rejects_bad_mode():
+    with pytest.raises(ValueError):
+        ReQISCCompiler(mode="fast")
+
+
+def test_su4_fusion_baselines():
+    circuit = _toffoli_workload()
+    qiskit_su4 = Su4FusionBaselineCompiler(variant="qiskit-su4").compile(circuit)
+    assert set(qiskit_su4.circuit.count_by_name()) <= {"can", "u3"}
+    assert _compiled_equivalent(circuit, qiskit_su4)
+    reqisc = ReQISCCompiler(mode="eff").compile(circuit)
+    # On a tiny workload the naive fusion can be competitive on raw #2Q; the
+    # co-designed pipeline must stay within reach here (the suite-level
+    # comparison is exercised by the experiment harness / Figure 14 bench).
+    assert reqisc.num_two_qubit_gates <= qiskit_su4.num_two_qubit_gates + 2
+    with pytest.raises(ValueError):
+        Su4FusionBaselineCompiler(variant="other")
+
+
+def test_mirroring_applies_to_near_identity_programs():
+    circuit = QuantumCircuit(3, "near_identity")
+    circuit.can(0.03, 0.01, 0.0, 0, 1)
+    circuit.can(0.02, 0.02, 0.01, 1, 2)
+    result = ReQISCCompiler(mode="eff").compile(circuit)
+    assert result.properties.get("mirrored_gate_count", 0) >= 1
+    assert sorted(result.final_permutation) == list(range(3))
+    assert _compiled_equivalent(circuit, result)

@@ -1,0 +1,181 @@
+"""Tests for the statevector, unitary and noisy simulators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.metrics import cnot_isa_duration_model
+from repro.gates import standard
+from repro.linalg.predicates import is_unitary
+from repro.linalg.random import haar_random_state, haar_random_unitary
+from repro.simulators.fidelity import hellinger_fidelity, state_fidelity
+from repro.simulators.noise import (
+    DepolarizingNoiseModel,
+    duration_scaled_noise_model,
+    sample_counts,
+    simulate_noisy_probabilities,
+)
+from repro.simulators.statevector import apply_gate, probabilities, simulate_statevector
+from repro.simulators.unitary import circuit_unitary, embed_unitary
+
+
+def test_apply_gate_matches_kron_single_qubit():
+    rng = np.random.default_rng(0)
+    state = haar_random_state(3, rng)
+    gate = haar_random_unitary(2, rng)
+    # Apply on qubit 1 (middle) of 3 qubits; expected via explicit kron.
+    expected = np.kron(np.eye(2), np.kron(gate, np.eye(2))) @ state
+    result = apply_gate(state, gate, [1], 3)
+    assert np.allclose(result, expected)
+
+
+def test_apply_gate_matches_kron_two_qubit_adjacent():
+    rng = np.random.default_rng(1)
+    state = haar_random_state(3, rng)
+    gate = haar_random_unitary(4, rng)
+    expected = np.kron(gate, np.eye(2)) @ state
+    result = apply_gate(state, gate, [0, 1], 3)
+    assert np.allclose(result, expected)
+
+
+def test_apply_gate_two_qubit_reversed_order():
+    # Applying CX on (1, 0) must treat qubit 1 as control.
+    state = np.zeros(4, dtype=complex)
+    state[1] = 1.0  # |01>
+    result = apply_gate(state, standard.cx_gate().matrix, [1, 0], 2)
+    expected = np.zeros(4, dtype=complex)
+    expected[3] = 1.0
+    assert np.allclose(result, expected)
+
+
+def test_apply_gate_preserves_norm():
+    rng = np.random.default_rng(2)
+    state = haar_random_state(4, rng)
+    gate = haar_random_unitary(4, rng)
+    result = apply_gate(state, gate, [3, 1], 4)
+    assert np.linalg.norm(result) == pytest.approx(1.0)
+
+
+def test_simulate_statevector_initial_state():
+    circuit = QuantumCircuit(2)
+    circuit.x(0)
+    plus = np.array([0.5, 0.5, 0.5, 0.5], dtype=complex)
+    result = simulate_statevector(circuit, initial_state=plus)
+    assert np.allclose(np.sort(np.abs(result)), np.sort(np.abs(plus)))
+    with pytest.raises(ValueError):
+        simulate_statevector(circuit, initial_state=np.ones(3))
+
+
+def test_circuit_unitary_is_unitary_and_correct():
+    circuit = QuantumCircuit(3)
+    circuit.h(0).cx(0, 1).ccx(0, 1, 2).rz(0.3, 2)
+    unitary = circuit_unitary(circuit)
+    assert is_unitary(unitary)
+    state = circuit.statevector()
+    assert np.allclose(unitary[:, 0], state)
+
+
+def test_circuit_unitary_refuses_large_circuits():
+    with pytest.raises(ValueError):
+        circuit_unitary(QuantumCircuit(15))
+
+
+def test_embed_unitary_matches_circuit():
+    gate = haar_random_unitary(4, 7)
+    embedded = embed_unitary(gate, [2, 0], 3)
+    circuit = QuantumCircuit(3)
+    circuit.unitary(gate, [2, 0])
+    assert np.allclose(embedded, circuit.to_unitary())
+
+
+def test_probabilities_sum_to_one():
+    state = haar_random_state(4, 3)
+    assert probabilities(state).sum() == pytest.approx(1.0)
+
+
+def test_state_fidelity_bounds():
+    a = haar_random_state(3, 5)
+    assert state_fidelity(a, a) == pytest.approx(1.0)
+    b = haar_random_state(3, 6)
+    fid = state_fidelity(a, b)
+    assert 0.0 <= fid <= 1.0
+
+
+def test_hellinger_fidelity_identical_distributions():
+    p = np.array([0.25, 0.25, 0.25, 0.25])
+    assert hellinger_fidelity(p, p) == pytest.approx(1.0)
+    q = np.array([1.0, 0.0, 0.0, 0.0])
+    assert hellinger_fidelity(p, q) == pytest.approx(0.25)
+
+
+def test_hellinger_fidelity_counts_input():
+    counts = {0: 500, 3: 500}
+    probs = np.array([0.5, 0.0, 0.0, 0.5])
+    assert hellinger_fidelity(counts, probs, dim=4) == pytest.approx(1.0)
+
+
+def test_noiseless_model_reproduces_ideal():
+    circuit = QuantumCircuit(2)
+    circuit.h(0).cx(0, 1)
+    model = DepolarizingNoiseModel(lambda instruction: 0.0)
+    noisy = simulate_noisy_probabilities(circuit, model, num_trajectories=10, seed=1)
+    ideal = probabilities(circuit.statevector())
+    assert np.allclose(noisy, ideal, atol=1e-12)
+
+
+def test_noise_reduces_fidelity_monotonically():
+    circuit = QuantumCircuit(3)
+    circuit.x(0)
+    for _ in range(5):
+        circuit.cx(0, 1).cx(1, 2).cx(0, 2)
+    ideal = probabilities(circuit.statevector())
+    duration_fn = cnot_isa_duration_model()
+    low_noise = duration_scaled_noise_model(duration_fn, base_error_rate=1e-3)
+    high_noise = duration_scaled_noise_model(duration_fn, base_error_rate=2e-1)
+    fid_low = hellinger_fidelity(
+        simulate_noisy_probabilities(circuit, low_noise, num_trajectories=150, seed=2), ideal
+    )
+    fid_high = hellinger_fidelity(
+        simulate_noisy_probabilities(circuit, high_noise, num_trajectories=150, seed=2), ideal
+    )
+    assert fid_low > fid_high
+    assert fid_low > 0.9
+    assert fid_high < 0.999
+
+
+def test_duration_scaled_noise_rates():
+    duration_fn = cnot_isa_duration_model()
+    model = duration_scaled_noise_model(duration_fn, base_error_rate=0.001)
+    from repro.circuits.instruction import Instruction
+
+    two_qubit = Instruction(standard.cx_gate(), (0, 1))
+    one_qubit = Instruction(standard.h_gate(), (0,))
+    assert model.error_rate(two_qubit) == pytest.approx(0.001)
+    assert model.error_rate(one_qubit) == 0.0
+
+
+def test_sample_counts_shape():
+    counts = sample_counts(np.array([0.5, 0.5]), shots=1000, seed=0)
+    assert sum(counts.values()) == 1000
+    assert set(counts) <= {0, 1}
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=5000))
+def test_property_unitary_simulation_consistency(seed):
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(3)
+    for _ in range(6):
+        kind = rng.integers(3)
+        if kind == 0:
+            circuit.u3(*rng.uniform(0, np.pi, 3), int(rng.integers(3)))
+        elif kind == 1:
+            a, b = rng.choice(3, size=2, replace=False)
+            circuit.cx(int(a), int(b))
+        else:
+            a, b = rng.choice(3, size=2, replace=False)
+            circuit.can(*rng.uniform(0, 0.7, 3), int(a), int(b))
+    unitary = circuit_unitary(circuit)
+    assert is_unitary(unitary)
+    assert np.allclose(unitary[:, 0], circuit.statevector())

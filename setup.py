@@ -1,10 +1,54 @@
-"""Setuptools shim.
+"""Setuptools configuration for the ReQISC/Regulus reproduction.
 
-Kept so that ``pip install -e .`` works in offline environments that lack the
-``wheel`` package (legacy editable installs go through ``setup.py develop``).
-All project metadata lives in ``pyproject.toml``.
+Installs the ``repro`` package from ``src/`` and exposes the batch
+compilation CLI both as ``python -m repro`` and as the ``repro`` console
+script.  The package needs only numpy and scipy at runtime.
 """
 
-from setuptools import setup
+import os
 
-setup()
+from setuptools import find_packages, setup
+
+
+def _long_description() -> str:
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)), "README.md")
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            return handle.read()
+    return ""
+
+
+setup(
+    name="repro-reqisc",
+    version="1.1.0",
+    description=(
+        "Reproduction of the ReQISC reconfigurable SU(4) quantum ISA: the "
+        "genAshN microarchitecture, the Regulus compiler, and a batch "
+        "compilation service with synthesis caching."
+    ),
+    long_description=_long_description(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    install_requires=[
+        "numpy>=1.21",
+        "scipy>=1.7",
+    ],
+    extras_require={
+        "test": ["pytest"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro = repro.service.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering :: Physics",
+    ],
+)

@@ -17,7 +17,7 @@ and sub-packages can be used independently::
 from importlib import import_module
 from typing import Any
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 #: Mapping from public attribute name to "module:attribute" location.
 _LAZY_EXPORTS = {
@@ -34,6 +34,11 @@ _LAZY_EXPORTS = {
     "CompilationResult": "repro.compiler.reqisc:CompilationResult",
     "CnotBaselineCompiler": "repro.compiler.baselines:CnotBaselineCompiler",
     "Su4FusionBaselineCompiler": "repro.compiler.baselines:Su4FusionBaselineCompiler",
+    "BatchCompiler": "repro.service.batch:BatchCompiler",
+    "BatchResult": "repro.service.batch:BatchResult",
+    "SynthesisCache": "repro.service.cache:SynthesisCache",
+    "unitary_fingerprint": "repro.service.cache:unitary_fingerprint",
+    "benchmark_suite": "repro.workloads.suite:benchmark_suite",
 }
 
 __all__ = sorted(_LAZY_EXPORTS) + ["__version__"]

@@ -1,0 +1,6 @@
+"""Module entry point: ``python -m repro`` dispatches to the service CLI."""
+
+from repro.service.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -63,7 +63,7 @@ class CnotBaselineCompiler:
     def compile(self, circuit: QuantumCircuit) -> CompilationResult:
         """Compile ``circuit`` to the optimized ``{CX, U3}`` representation."""
         start = time.perf_counter()
-        properties: Dict[str, Any] = {}
+        properties: Dict[str, Any] = {"isa": "cnot"}
         manager = PassManager()
         if self.pauli_simp:
             # Rotation merging on the high-level representation (the role of
@@ -131,6 +131,7 @@ class Su4FusionBaselineCompiler:
         )
         cnot_result = cnot_stage.compile(circuit)
         properties = dict(cnot_result.properties)
+        properties["isa"] = "su4"
         manager = PassManager()
         if self.variant == "bqskit-su4":
             # Aggressive per-block numerical re-synthesis with no template

@@ -22,6 +22,7 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.instruction import Instruction
 from repro.compiler.passes.base import CompilerPass
 from repro.gates.gate import UnitaryGate
+from repro.service.cache import SynthesisCache, unitary_fingerprint
 from repro.simulators.statevector import apply_gate
 from repro.synthesis.approximate import ApproximateSynthesizer
 from repro.synthesis.blocks import consolidate_blocks
@@ -198,7 +199,14 @@ def dag_compacting(
 
 
 class HierarchicalSynthesisPass(CompilerPass):
-    """Two-tier partitioning + conditional approximate synthesis."""
+    """Two-tier partitioning + conditional approximate synthesis.
+
+    When a :class:`~repro.service.cache.SynthesisCache` is supplied, each
+    block's (expensive) numerical re-synthesis outcome — including the
+    negative "synthesis did not help" outcome — is memoized by the exact
+    bytes of the block unitary plus the solver settings, so identical dense
+    blocks across a workload suite are synthesized exactly once.
+    """
 
     name = "hierarchical_synthesis"
 
@@ -210,6 +218,7 @@ class HierarchicalSynthesisPass(CompilerPass):
         enable_dag_compacting: bool = True,
         synthesizer: Optional[ApproximateSynthesizer] = None,
         max_synthesis_blocks: Optional[int] = None,
+        cache: Optional[SynthesisCache] = None,
     ) -> None:
         self.block_size = block_size
         self.threshold = threshold
@@ -219,6 +228,7 @@ class HierarchicalSynthesisPass(CompilerPass):
             tolerance=tolerance, restarts=2, seed=2026, max_iterations=300
         )
         self.max_synthesis_blocks = max_synthesis_blocks
+        self.cache = cache
 
     # ------------------------------------------------------------------
     def run(self, circuit: QuantumCircuit, properties: Dict[str, Any]) -> QuantumCircuit:
@@ -258,9 +268,33 @@ class HierarchicalSynthesisPass(CompilerPass):
     def _resynthesize(self, block: MultiQubitBlock) -> Optional[List[Instruction]]:
         target = block.unitary()
         original_count = block.num_two_qubit_gates
+        num_qubits = len(block.qubits)
+        if self.cache is not None:
+            synth = self.synthesizer
+            key = unitary_fingerprint(
+                target,
+                "hierarchical_synthesis",
+                f"count={original_count}",
+                f"tol={self.tolerance}",
+                f"synth={synth.tolerance}:{synth.restarts}:{synth.seed}:{synth.max_iterations}",
+            )
+            local = self.cache.get_or_compute(
+                key, lambda: self._synthesize_local(target, num_qubits, original_count)
+            )
+        else:
+            local = self._synthesize_local(target, num_qubits, original_count)
+        if local is None:
+            return None
+        mapping = {local_q: phys for local_q, phys in enumerate(block.qubits)}
+        return [instr.remap(mapping) for instr in local]
+
+    def _synthesize_local(
+        self, target: np.ndarray, num_qubits: int, original_count: int
+    ) -> Optional[List[Instruction]]:
+        """Synthesize ``target`` on local qubits; ``None`` when not worthwhile."""
         result = self.synthesizer.synthesize(
             target,
-            num_qubits=len(block.qubits),
+            num_qubits=num_qubits,
             max_blocks=min(original_count - 1, 6),
             min_blocks=min(3, max(original_count - 2, 1)),
         )
@@ -268,5 +302,4 @@ class HierarchicalSynthesisPass(CompilerPass):
             return None
         if result.two_qubit_count >= original_count:
             return None
-        mapping = {local: phys for local, phys in enumerate(block.qubits)}
-        return [instr.remap(mapping) for instr in result.circuit]
+        return list(result.circuit)

@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.instruction import Instruction
 from repro.compiler.passes.base import CompilerPass
+from repro.service.cache import SynthesisCache, circuit_fingerprint
 from repro.synthesis.blocks import consolidate_blocks
 from repro.synthesis.mcx import expand_mcx_gates
 from repro.synthesis.templates import TemplateLibrary, default_template_library
@@ -33,7 +34,13 @@ _TEMPLATED_GATES = ("ccx", "ccz", "cswap")
 
 
 class TemplateSynthesisPass(CompilerPass):
-    """Replace 3-qubit IR patterns with pre-synthesized SU(4) templates."""
+    """Replace 3-qubit IR patterns with pre-synthesized SU(4) templates.
+
+    When a :class:`~repro.service.cache.SynthesisCache` is supplied, the whole
+    pass output is memoized per input-circuit content: re-compiling the same
+    program (a suite re-run, or the same circuit under both ``reqisc-eff`` and
+    ``reqisc-full``) assembles its templates exactly once.
+    """
 
     name = "template_synthesis"
 
@@ -42,13 +49,43 @@ class TemplateSynthesisPass(CompilerPass):
         library: Optional[TemplateLibrary] = None,
         selective_assembly: bool = True,
         fuse_output: bool = True,
+        cache: Optional[SynthesisCache] = None,
     ) -> None:
         self.library = library or default_template_library()
         self.selective_assembly = selective_assembly
         self.fuse_output = fuse_output
+        self.cache = cache
+        self._library_key: Optional[str] = None
 
     # ------------------------------------------------------------------
     def run(self, circuit: QuantumCircuit, properties: Dict[str, Any]) -> QuantumCircuit:
+        if self.cache is not None:
+            key = circuit_fingerprint(
+                circuit,
+                "template_synthesis",
+                self._library_fingerprint(),
+                f"selective={self.selective_assembly}",
+                f"fuse={self.fuse_output}",
+            )
+            # ``copy()`` guards the cached instruction list against in-place
+            # mutation by downstream passes (instructions stay shared); the
+            # name is restored since it is deliberately not part of the key.
+            cached = self.cache.get_or_compute(key, lambda: self._transform(circuit))
+            return cached.copy(circuit.name)
+        return self._transform(circuit)
+
+    def _library_fingerprint(self) -> str:
+        """Content key of the template library (templates change the output)."""
+        if self._library_key is None:
+            parts = [
+                circuit_fingerprint(variant)
+                for name in self.library.names()
+                for variant in self.library.variants(name)
+            ]
+            self._library_key = "library:" + ",".join(parts)
+        return self._library_key
+
+    def _transform(self, circuit: QuantumCircuit) -> QuantumCircuit:
         expanded = expand_mcx_gates(circuit)
         result = QuantumCircuit(expanded.num_qubits, circuit.name)
         # Last pending 2Q pair per qubit (used by selective assembly to pick

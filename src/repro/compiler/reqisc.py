@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.metrics import (
     circuit_duration,
+    cnot_isa_duration_model,
     count_distinct_two_qubit_gates,
     count_two_qubit_gates,
     two_qubit_depth,
@@ -34,8 +35,10 @@ from repro.compiler.passes.mirror import MirrorNearIdentityPass
 from repro.compiler.passes.template_synthesis import TemplateSynthesisPass
 from repro.compiler.routing.coupling_map import CouplingMap
 from repro.compiler.routing.sabre import SabreRouter
+from repro.linalg.weyl import install_kak_cache
 from repro.microarch.durations import su4_duration_model
 from repro.microarch.hamiltonian import CouplingHamiltonian
+from repro.service.cache import SynthesisCache
 from repro.synthesis.approximate import ApproximateSynthesizer
 from repro.synthesis.templates import TemplateLibrary
 
@@ -69,7 +72,15 @@ class CompilationResult:
         return count_distinct_two_qubit_gates(self.circuit)
 
     def duration(self, coupling: Optional[CouplingHamiltonian] = None) -> float:
-        """Pulse duration of the compiled circuit under the genAshN scheme."""
+        """Pulse duration of the compiled circuit.
+
+        SU(4)-ISA results are costed with the genAshN duration model;
+        CNOT-ISA results (compilers that stamp ``properties["isa"] = "cnot"``)
+        with the conventional CNOT pulse, matching the paper's Table 2
+        convention.
+        """
+        if self.properties.get("isa") == "cnot":
+            return circuit_duration(self.circuit, cnot_isa_duration_model())
         coupling = coupling or CouplingHamiltonian.xy(1.0)
         return circuit_duration(self.circuit, su4_duration_model(coupling))
 
@@ -87,12 +98,19 @@ class CompilationResult:
         return self.properties.get("inserted_swaps")
 
     def summary(self) -> Dict[str, Any]:
-        """Flat dictionary used by the experiment harness."""
+        """Flat dictionary used by the experiment harness and the CLI.
+
+        Carries the paper's headline metrics: #2Q, Depth2Q, the distinct-gate
+        calibration proxy, the genAshN pulse duration and (when routing ran)
+        the inserted-SWAP overhead.
+        """
         return {
             "compiler": self.compiler_name,
             "num_2q": self.num_two_qubit_gates,
             "depth_2q": self.two_qubit_depth,
             "distinct_2q": self.distinct_two_qubit_gates,
+            "duration": self.duration(),
+            "routing_overhead": self.routing_overhead,
             "compile_seconds": self.compile_seconds,
         }
 
@@ -111,6 +129,11 @@ class ReQISCCompiler:
     coupling_map:
         When given, the SU(4)-aware mirroring-SABRE routing pass maps the
         circuit onto this topology.
+    synthesis_cache:
+        Optional :class:`~repro.service.cache.SynthesisCache` shared by the
+        template pass, the hierarchical pass and the KAK-backed finalization,
+        so repeated blocks (within a circuit, across a suite, or across
+        processes via the disk tier) are synthesized once.
     """
 
     def __init__(
@@ -128,6 +151,7 @@ class ReQISCCompiler:
         synthesizer: Optional[ApproximateSynthesizer] = None,
         max_synthesis_blocks: Optional[int] = None,
         seed: int = 0,
+        synthesis_cache: Optional[SynthesisCache] = None,
     ) -> None:
         if mode not in ("full", "eff"):
             raise ValueError("mode must be 'full' or 'eff'")
@@ -144,6 +168,7 @@ class ReQISCCompiler:
         self.synthesizer = synthesizer
         self.max_synthesis_blocks = max_synthesis_blocks
         self.seed = seed
+        self.synthesis_cache = synthesis_cache
 
     # ------------------------------------------------------------------
     @property
@@ -153,7 +178,9 @@ class ReQISCCompiler:
 
     def _build_pass_manager(self) -> PassManager:
         manager = PassManager()
-        manager.append(TemplateSynthesisPass(library=self.template_library))
+        manager.append(
+            TemplateSynthesisPass(library=self.template_library, cache=self.synthesis_cache)
+        )
         if self.mode == "full":
             manager.append(
                 HierarchicalSynthesisPass(
@@ -163,6 +190,7 @@ class ReQISCCompiler:
                     enable_dag_compacting=self.enable_dag_compacting,
                     synthesizer=self.synthesizer,
                     max_synthesis_blocks=self.max_synthesis_blocks,
+                    cache=self.synthesis_cache,
                 )
             )
         else:
@@ -171,29 +199,41 @@ class ReQISCCompiler:
         return manager
 
     def compile(self, circuit: QuantumCircuit) -> CompilationResult:
-        """Compile ``circuit`` into the SU(4) ``{Can, U3}`` ISA."""
+        """Compile ``circuit`` into the SU(4) ``{Can, U3}`` ISA.
+
+        When a ``synthesis_cache`` is configured it is also installed as the
+        process-global KAK cache for the duration of the call, so the
+        finalization pass reuses canonical decompositions of repeated blocks.
+        """
         start = time.perf_counter()
-        properties: Dict[str, Any] = {}
-        manager = self._build_pass_manager()
-        logical = manager.run(circuit, properties)
-        records = list(manager.records)
+        previous_kak_cache = None
+        if self.synthesis_cache is not None:
+            previous_kak_cache = install_kak_cache(self.synthesis_cache)
+        try:
+            properties: Dict[str, Any] = {"isa": "su4"}
+            manager = self._build_pass_manager()
+            logical = manager.run(circuit, properties)
+            records = list(manager.records)
 
-        if self.coupling_map is not None:
-            router = SabreRouter(
-                self.coupling_map,
-                mirroring=self.use_mirroring_sabre,
-                seed=self.seed,
-            )
-            routing = router.run(logical)
-            logical = routing.circuit
-            properties["initial_layout"] = routing.initial_layout
-            properties["final_layout"] = routing.final_layout
-            properties["inserted_swaps"] = routing.inserted_swaps
-            properties["absorbed_swaps"] = routing.absorbed_swaps
+            if self.coupling_map is not None:
+                router = SabreRouter(
+                    self.coupling_map,
+                    mirroring=self.use_mirroring_sabre,
+                    seed=self.seed,
+                )
+                routing = router.run(logical)
+                logical = routing.circuit
+                properties["initial_layout"] = routing.initial_layout
+                properties["final_layout"] = routing.final_layout
+                properties["inserted_swaps"] = routing.inserted_swaps
+                properties["absorbed_swaps"] = routing.absorbed_swaps
 
-        finalize = PassManager([FinalizeToCanPass()])
-        compiled = finalize.run(logical, properties)
-        records.extend(finalize.records)
+            finalize = PassManager([FinalizeToCanPass()])
+            compiled = finalize.run(logical, properties)
+            records.extend(finalize.records)
+        finally:
+            if self.synthesis_cache is not None:
+                install_kak_cache(previous_kak_cache)
 
         elapsed = time.perf_counter() - start
         return CompilationResult(

@@ -62,6 +62,7 @@ def build_compilers(
     full_synthesis_budget: Optional[int] = 2,
     synthesis_tolerance: float = 1e-5,
     seed: int = 0,
+    synthesis_cache: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Construct the compilers used across the experiments by name.
 
@@ -69,6 +70,10 @@ def build_compilers(
     ``tket-su4``, ``bqskit-su4``, ``reqisc-eff``, ``reqisc-full``,
     ``reqisc-nc`` (Full without DAG compacting) and ``reqisc-sabre``
     (Full/Eff with plain SABRE instead of mirroring-SABRE).
+
+    ``synthesis_cache`` (a :class:`~repro.service.cache.SynthesisCache`) is
+    forwarded to every ReQISC compiler so suite-level runs share synthesis
+    results across programs.
     """
     fast_synthesizer = ApproximateSynthesizer(
         tolerance=synthesis_tolerance, restarts=1, seed=seed, max_iterations=200
@@ -86,7 +91,9 @@ def build_compilers(
                 variant=name, coupling_map=coupling_map, seed=seed
             )
         elif name == "reqisc-eff":
-            registry[name] = ReQISCCompiler(mode="eff", coupling_map=coupling_map, seed=seed)
+            registry[name] = ReQISCCompiler(
+                mode="eff", coupling_map=coupling_map, seed=seed, synthesis_cache=synthesis_cache
+            )
         elif name == "reqisc-full":
             registry[name] = ReQISCCompiler(
                 mode="full",
@@ -95,6 +102,7 @@ def build_compilers(
                 synthesizer=fast_synthesizer,
                 max_synthesis_blocks=full_synthesis_budget,
                 seed=seed,
+                synthesis_cache=synthesis_cache,
             )
         elif name == "reqisc-nc":
             registry[name] = ReQISCCompiler(
@@ -105,10 +113,15 @@ def build_compilers(
                 max_synthesis_blocks=full_synthesis_budget,
                 enable_dag_compacting=False,
                 seed=seed,
+                synthesis_cache=synthesis_cache,
             )
         elif name == "reqisc-sabre":
             registry[name] = ReQISCCompiler(
-                mode="eff", coupling_map=coupling_map, use_mirroring_sabre=False, seed=seed
+                mode="eff",
+                coupling_map=coupling_map,
+                use_mirroring_sabre=False,
+                seed=seed,
+                synthesis_cache=synthesis_cache,
             )
         else:
             raise KeyError(f"unknown compiler name {name!r}")

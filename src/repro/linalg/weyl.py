@@ -44,6 +44,8 @@ __all__ = [
     "KAKDecomposition",
     "canonical_gate",
     "canonicalize_coordinates",
+    "install_kak_cache",
+    "installed_kak_cache",
     "kak_decompose",
     "local_equivalence_distance",
     "makhlin_invariants",
@@ -59,6 +61,37 @@ PI_4 = math.pi / 4.0
 # noise so that gates lying exactly on a boundary (CNOT, SWAP, ...) are not
 # bounced between equivalent representatives by round-off.
 _BOUNDARY_TOL = 1e-9
+
+# ---------------------------------------------------------------------------
+# Optional synthesis-cache hook.
+#
+# The KAK decomposition is the hottest synthesis kernel in the compiler: the
+# finalization pass runs it once per fused SU(4) block, and identical blocks
+# recur across (and within) benchmark programs.  The service layer
+# (:mod:`repro.service`) can install a content-addressed cache here; keys are
+# the exact matrix bytes, so a cached decomposition is bit-identical to a
+# fresh one.  ``None`` (the default) keeps this module dependency-free.
+# ---------------------------------------------------------------------------
+
+_KAK_CACHE = None
+
+
+def install_kak_cache(cache):
+    """Install a process-global cache consulted by :func:`kak_decompose`.
+
+    ``cache`` must provide ``get(key)``/``put(key, value)`` keyed by strings
+    (a :class:`repro.service.cache.SynthesisCache` does); ``None`` uninstalls.
+    Returns the previously installed cache so callers can restore it.
+    """
+    global _KAK_CACHE
+    previous = _KAK_CACHE
+    _KAK_CACHE = cache
+    return previous
+
+
+def installed_kak_cache():
+    """The currently installed KAK cache (``None`` when caching is off)."""
+    return _KAK_CACHE
 
 
 def canonical_gate(x: float, y: float, z: float) -> np.ndarray:
@@ -374,6 +407,20 @@ def kak_decompose(unitary: np.ndarray, validate: bool = True) -> KAKDecompositio
     if abs(abs(det) - 1.0) > 1e-6:
         raise ValueError("matrix is not unitary (|det| != 1)")
 
+    cache = _KAK_CACHE
+    cache_key = None
+    if cache is not None:
+        from repro.service.cache import unitary_fingerprint
+
+        cache_key = unitary_fingerprint(unitary, "kak")
+        cached = cache.get(cache_key)
+        if cached is not None:
+            if validate:
+                error = cached.reconstruction_error(unitary)
+                if error > 1e-6:
+                    raise ValueError(f"KAK reconstruction error too large: {error:.3e}")
+            return cached
+
     det_root = det ** (-0.25)
     u_su = unitary * det_root
     global_phase = 1.0 / det_root
@@ -426,6 +473,8 @@ def kak_decompose(unitary: np.ndarray, validate: bool = True) -> KAKDecompositio
         error = result.reconstruction_error(unitary)
         if error > 1e-6:
             raise ValueError(f"KAK reconstruction error too large: {error:.3e}")
+    if cache is not None and cache_key is not None:
+        cache.put(cache_key, result)
     return result
 
 

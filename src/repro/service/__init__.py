@@ -1,0 +1,52 @@
+"""Batch compilation service layer.
+
+This package turns the one-circuit-at-a-time :class:`~repro.compiler.reqisc.ReQISCCompiler`
+into a throughput-oriented engine, following the decoupled request/completion
+structure of the paper's evaluation harness:
+
+* :mod:`repro.service.cache` — a content-addressed :class:`SynthesisCache`
+  (in-memory LRU + optional on-disk store) that memoizes KAK decompositions,
+  template realizations and approximate-synthesis results across circuits,
+  suites and processes.
+* :mod:`repro.service.batch` — a :class:`BatchCompiler` that fans a list of
+  circuits (or a whole workload suite) out across worker processes with
+  deterministic per-job seeds and ordered result collection.
+* :mod:`repro.service.cli` — the ``python -m repro`` command line
+  (``compile`` / ``bench`` / ``suite``) that runs workloads through the
+  registered compilers and emits summary rows as text, JSON or CSV.
+
+Sub-modules are re-exported lazily so that low-level modules (for example the
+KAK cache hook in :mod:`repro.linalg.weyl`) can import
+``repro.service.cache`` without pulling the compiler stack into scope.
+"""
+
+from importlib import import_module
+from typing import Any
+
+_LAZY_EXPORTS = {
+    "SynthesisCache": "repro.service.cache:SynthesisCache",
+    "CacheStats": "repro.service.cache:CacheStats",
+    "unitary_fingerprint": "repro.service.cache:unitary_fingerprint",
+    "circuit_fingerprint": "repro.service.cache:circuit_fingerprint",
+    "BatchCompiler": "repro.service.batch:BatchCompiler",
+    "BatchItem": "repro.service.batch:BatchItem",
+    "BatchResult": "repro.service.batch:BatchResult",
+    "main": "repro.service.cli:main",
+}
+
+__all__ = sorted(_LAZY_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        target = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.service' has no attribute {name!r}") from None
+    module_name, _, attribute = target.partition(":")
+    value = getattr(import_module(module_name), attribute)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list:
+    return __all__

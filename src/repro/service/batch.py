@@ -1,0 +1,258 @@
+"""Parallel batch compilation with deterministic seeding.
+
+The :class:`BatchCompiler` accepts a list of circuits (or a whole workload
+suite) and fans compilation out across worker processes via
+:mod:`concurrent.futures`, mirroring the decoupled submit/collect structure of
+the paper's evaluation harness:
+
+* **Deterministic seeding** — job ``i`` always compiles with seed
+  ``base_seed + i`` in a compiler instance built fresh for that job, so the
+  output of a parallel batch is bit-identical to compiling the same circuits
+  sequentially (and independent of worker count or scheduling order).
+* **Ordered collection** — results come back in submission order regardless
+  of which worker finished first.
+* **Cache mediation** — each worker process owns a
+  :class:`~repro.service.cache.SynthesisCache`; when the batch cache has a
+  disk tier, workers share synthesis results through it.  Exact-byte cache
+  keys guarantee that cache hits never change compiled output.
+
+Usage::
+
+    from repro.service.batch import BatchCompiler
+
+    engine = BatchCompiler(compiler="reqisc-eff", workers=4,
+                           cache=SynthesisCache(directory=".repro-cache"))
+    batch = engine.compile_suite(scale="small", categories=["qft", "tof"])
+    for row in batch.summaries():
+        print(row)
+    print(batch.cache_stats.as_dict())
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.reqisc import CompilationResult
+from repro.service.cache import CacheStats, SynthesisCache
+
+__all__ = ["BatchCompiler", "BatchItem", "BatchResult", "CompileJob"]
+
+
+@dataclass(frozen=True)
+class CompileJob:
+    """One unit of batch work: a named circuit plus its compiler spec."""
+
+    index: int
+    name: str
+    circuit: QuantumCircuit
+    compiler: str
+    seed: int
+    options: Tuple[Tuple[str, Any], ...] = ()
+
+
+@dataclass
+class BatchItem:
+    """Outcome of one job: a result or a captured error, plus cache counters."""
+
+    index: int
+    name: str
+    compiler: str
+    seed: int
+    result: Optional[CompilationResult] = None
+    error: Optional[str] = None
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def ok(self) -> bool:
+        """True when compilation succeeded."""
+        return self.result is not None
+
+
+@dataclass
+class BatchResult:
+    """Ordered batch outcome plus aggregate statistics."""
+
+    items: List[BatchItem]
+    workers: int
+    elapsed_seconds: float
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def results(self) -> List[Optional[CompilationResult]]:
+        """Per-job compilation results, in submission order (``None`` on error)."""
+        return [item.result for item in self.items]
+
+    @property
+    def errors(self) -> List[Tuple[str, str]]:
+        """``(name, message)`` pairs of the jobs that failed."""
+        return [(item.name, item.error) for item in self.items if item.error]
+
+    def summaries(self) -> List[Dict[str, Any]]:
+        """One flat row per successful job (``CompilationResult.summary()``
+        extended with the job identity), ready for JSON/CSV serialization."""
+        rows: List[Dict[str, Any]] = []
+        for item in self.items:
+            if item.result is None:
+                continue
+            row: Dict[str, Any] = {
+                "benchmark": item.name,
+                "num_qubits": item.result.circuit.num_qubits,
+            }
+            row.update(item.result.summary())
+            rows.append(row)
+        return rows
+
+
+# ---------------------------------------------------------------------------
+# Worker-side machinery.  ``_WORKER_CACHE`` is one cache per worker process,
+# created by the pool initializer; with a disk-backed spec every worker reads
+# and writes the same content-addressed store.
+# ---------------------------------------------------------------------------
+
+_WORKER_CACHE: Optional[SynthesisCache] = None
+
+
+def _init_worker(cache_spec: Optional[Tuple[Optional[int], Optional[str]]]) -> None:
+    """Pool initializer: build this worker's synthesis cache from its spec."""
+    global _WORKER_CACHE
+    if cache_spec is None:
+        _WORKER_CACHE = None
+    else:
+        capacity, directory = cache_spec
+        _WORKER_CACHE = SynthesisCache(capacity=capacity, directory=directory)
+
+
+def _compile_job(job: CompileJob, cache: Optional[SynthesisCache]) -> BatchItem:
+    """Compile one job with a fresh compiler instance; never raises."""
+    from repro.experiments.common import build_compilers
+
+    before = cache.stats.snapshot() if cache is not None else CacheStats()
+    item = BatchItem(index=job.index, name=job.name, compiler=job.compiler, seed=job.seed)
+    try:
+        registry = build_compilers(
+            [job.compiler], seed=job.seed, synthesis_cache=cache, **dict(job.options)
+        )
+        item.result = registry[job.compiler].compile(job.circuit)
+    except Exception as exc:  # noqa: BLE001 — batch items report, not crash
+        item.error = f"{type(exc).__name__}: {exc}"
+    if cache is not None:
+        item.cache_stats = cache.stats.delta_since(before)
+    return item
+
+
+def _compile_job_pooled(job: CompileJob) -> BatchItem:
+    """Top-level (picklable) entry point executed inside pool workers."""
+    return _compile_job(job, _WORKER_CACHE)
+
+
+class BatchCompiler:
+    """Fan a list of circuits out across worker processes.
+
+    Parameters
+    ----------
+    compiler:
+        Compiler name resolved through
+        :func:`repro.experiments.common.build_compilers` (``reqisc-full``,
+        ``reqisc-eff``, ``qiskit-like``, ...).
+    workers:
+        Number of worker processes; ``1`` (default) compiles sequentially
+        in-process.  Output is identical either way.
+    seed:
+        Base seed; job ``i`` compiles with ``seed + i``.
+    cache:
+        Optional :class:`~repro.service.cache.SynthesisCache`.  Sequential
+        runs use it directly; parallel workers build their own cache with the
+        same capacity/directory spec (a disk directory makes it shared).
+    compiler_options:
+        Extra keyword arguments forwarded to ``build_compilers`` (for example
+        ``coupling_map`` or ``full_synthesis_budget``).
+    """
+
+    def __init__(
+        self,
+        compiler: str = "reqisc-full",
+        workers: int = 1,
+        seed: int = 0,
+        cache: Optional[SynthesisCache] = None,
+        compiler_options: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.compiler = compiler
+        self.workers = workers
+        self.seed = seed
+        self.cache = cache
+        self.compiler_options = dict(compiler_options or {})
+
+    # ------------------------------------------------------------------
+    def compile_all(self, circuits: Iterable[Any]) -> BatchResult:
+        """Compile every entry of ``circuits`` and collect ordered results.
+
+        Entries may be :class:`QuantumCircuit` objects, ``(name, circuit)``
+        pairs, or any object with ``.circuit`` (and optionally ``.name``)
+        attributes — in particular
+        :class:`~repro.workloads.suite.BenchmarkCase`.
+        """
+        jobs = self._normalize(circuits)
+        start = time.perf_counter()
+        if self.workers == 1 or len(jobs) <= 1:
+            items = [_compile_job(job, self.cache) for job in jobs]
+        else:
+            cache_spec = None
+            if self.cache is not None:
+                cache_spec = (self.cache.capacity, self.cache.directory)
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(jobs)),
+                initializer=_init_worker,
+                initargs=(cache_spec,),
+            ) as pool:
+                # ``map`` yields in submission order: ordered collection.
+                items = list(pool.map(_compile_job_pooled, jobs))
+        elapsed = time.perf_counter() - start
+
+        aggregate = CacheStats()
+        for item in items:
+            aggregate.merge(item.cache_stats)
+        return BatchResult(
+            items=items, workers=self.workers, elapsed_seconds=elapsed, cache_stats=aggregate
+        )
+
+    def compile_suite(
+        self,
+        scale: str = "small",
+        categories: Optional[Sequence[str]] = None,
+        max_qubits: Optional[int] = None,
+    ) -> BatchResult:
+        """Compile a :func:`~repro.workloads.suite.benchmark_suite` selection."""
+        from repro.workloads.suite import benchmark_suite
+
+        cases = benchmark_suite(scale=scale, categories=categories, max_qubits=max_qubits)
+        return self.compile_all(cases)
+
+    # ------------------------------------------------------------------
+    def _normalize(self, circuits: Iterable[Any]) -> List[CompileJob]:
+        options = tuple(sorted(self.compiler_options.items()))
+        jobs: List[CompileJob] = []
+        for index, entry in enumerate(circuits):
+            if isinstance(entry, QuantumCircuit):
+                name, circuit = entry.name, entry
+            elif hasattr(entry, "circuit"):
+                circuit = entry.circuit
+                name = getattr(entry, "name", circuit.name)
+            else:
+                name, circuit = entry
+            jobs.append(
+                CompileJob(
+                    index=index,
+                    name=str(name),
+                    circuit=circuit,
+                    compiler=self.compiler,
+                    seed=self.seed + index,
+                    options=options,
+                )
+            )
+        return jobs

@@ -1,0 +1,304 @@
+"""Content-addressed synthesis cache (the memoization tier of the service layer).
+
+Synthesizing a two- or three-qubit unitary — a KAK decomposition for the
+``{Can, U3}`` ISA (Section 4.1), a template realization (Section 5.2) or a
+numerical approximate-synthesis run (Section 5.1) — depends only on the
+unitary itself plus a handful of solver settings.  Across a benchmark suite
+the same blocks recur constantly (every Toffoli, every QFT rotation ladder),
+so the service layer memoizes synthesis results behind a *content-addressed*
+cache: entries are keyed by a canonical fingerprint of the exact matrix bytes
+plus a context tag, never by object identity.
+
+Two storage tiers are provided:
+
+* an in-memory LRU dictionary (always on, bounded by ``capacity``), and
+* an optional on-disk store (one pickle per entry under ``directory``) that
+  persists results across processes and across CLI invocations — this is what
+  makes a *second* ``python -m repro suite`` run measurably faster.
+
+Exact-byte keys guarantee that a cached value is bit-identical to what a
+fresh computation would return, which keeps parallel batch compilation
+(:mod:`repro.service.batch`) deterministic: it can never matter in which
+order worker processes populate the cache.
+
+Usage::
+
+    from repro.service.cache import SynthesisCache, unitary_fingerprint
+
+    cache = SynthesisCache(capacity=4096, directory=".repro-cache")
+    key = unitary_fingerprint(matrix, "kak")
+    decomposition = cache.get_or_compute(key, lambda: kak_decompose(matrix))
+    print(cache.stats.hits, cache.stats.misses)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+__all__ = ["CacheStats", "SynthesisCache", "circuit_fingerprint", "unitary_fingerprint"]
+
+class _NoneSentinel:
+    """Stored in place of ``None`` (negative caching, e.g. "approximate
+    synthesis did not beat the original block").  Unpickles back to the module
+    singleton so identity survives the disk tier; lookups additionally match
+    by type for robustness."""
+
+    def __reduce__(self):
+        return (_none_sentinel, ())
+
+    def __repr__(self) -> str:
+        return "<cached-None>"
+
+
+def _none_sentinel() -> "_NoneSentinel":
+    return _NONE
+
+
+_NONE = _NoneSentinel()
+
+#: Sentinel returned by the internal lookup helpers on a miss, so that a
+#: legitimately cached ``None`` is distinguishable from "not present".
+_MISS = object()
+
+
+def unitary_fingerprint(matrix: np.ndarray, *context: str) -> str:
+    """Canonical content fingerprint of a unitary plus a context tag.
+
+    The fingerprint hashes the exact bytes of the C-contiguous complex128
+    representation of ``matrix`` together with its shape and every ``context``
+    string (pass name, solver settings, ...).  Two arrays with equal entries
+    produce the same fingerprint regardless of memory layout; any difference
+    in value, shape or context produces a different one.
+
+    Exactness is deliberate: no rounding is applied, so a cache keyed by this
+    fingerprint returns results that are bit-identical to recomputation.
+    """
+    array = np.ascontiguousarray(np.asarray(matrix, dtype=complex))
+    digest = hashlib.sha256()
+    digest.update(str(array.shape).encode())
+    digest.update(array.tobytes())
+    for tag in context:
+        digest.update(b"\x00")
+        digest.update(str(tag).encode())
+    return digest.hexdigest()
+
+
+def circuit_fingerprint(circuit, *context: str) -> str:
+    """Content fingerprint of a :class:`~repro.circuits.circuit.QuantumCircuit`.
+
+    Hashes the qubit count and, per instruction, the gate identity and qubit
+    tuple.  Named gates are identified by name + exact parameter bytes;
+    explicit-matrix gates (fused ``su4`` blocks) by their matrix bytes, so two
+    fused blocks with the same label but different unitaries never collide.
+    """
+    from repro.gates.gate import UnitaryGate
+
+    digest = hashlib.sha256()
+    digest.update(str(circuit.num_qubits).encode())
+    for instruction in circuit:
+        gate = instruction.gate
+        digest.update(b"|")
+        digest.update(gate.name.encode())
+        digest.update(str(instruction.qubits).encode())
+        if isinstance(gate, UnitaryGate):
+            digest.update(np.ascontiguousarray(gate.matrix).tobytes())
+        elif gate.params:
+            digest.update(np.asarray(gate.params, dtype=float).tobytes())
+    for tag in context:
+        digest.update(b"\x00")
+        digest.update(str(tag).encode())
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of a :class:`SynthesisCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+    puts: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flat dictionary (used by the CLI JSON output)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "puts": self.puts,
+        }
+
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate another stats snapshot into this one (batch workers)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+        self.disk_hits += other.disk_hits
+        self.puts += other.puts
+
+    def snapshot(self) -> "CacheStats":
+        """Independent copy of the current counters."""
+        return CacheStats(self.hits, self.misses, self.evictions, self.disk_hits, self.puts)
+
+    def delta_since(self, earlier: "CacheStats") -> "CacheStats":
+        """Counters accumulated since an earlier :meth:`snapshot`."""
+        return CacheStats(
+            self.hits - earlier.hits,
+            self.misses - earlier.misses,
+            self.evictions - earlier.evictions,
+            self.disk_hits - earlier.disk_hits,
+            self.puts - earlier.puts,
+        )
+
+
+class SynthesisCache:
+    """Two-tier (memory LRU + optional disk) content-addressed cache.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of in-memory entries; the least recently used entry is
+        evicted first.  ``None`` disables the bound.
+    directory:
+        When given, every entry is additionally pickled to
+        ``directory/<k0k1>/<key>.pkl`` and in-memory misses fall back to the
+        disk store.  The directory is created on first write.
+
+    The cache is thread-safe; cached values must be picklable when the disk
+    tier is enabled.
+    """
+
+    def __init__(self, capacity: Optional[int] = 4096, directory: Optional[str] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be positive (or None for unbounded)")
+        self.capacity = capacity
+        self.directory = os.fspath(directory) if directory else None
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Container protocol.
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries or self._disk_path_exists(key)
+
+    # ------------------------------------------------------------------
+    # Core operations.
+    # ------------------------------------------------------------------
+    def get(self, key: str, default: Any = None) -> Any:
+        """Look up ``key``; counts a hit or a miss.  Returns ``default`` on miss."""
+        value = self._lookup(key)
+        if value is _MISS:
+            return default
+        return None if isinstance(value, _NoneSentinel) else value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` in both tiers."""
+        stored = _NONE if value is None else value
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = stored
+            self.stats.puts += 1
+            if self.capacity is not None:
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+        self._disk_write(key, stored)
+
+    def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing and storing on miss."""
+        value = self._lookup(key)
+        if value is not _MISS:
+            return None if isinstance(value, _NoneSentinel) else value
+        result = compute()
+        self.put(key, result)
+        return result
+
+    def clear(self, *, reset_stats: bool = False) -> None:
+        """Drop every in-memory entry (the disk tier is left untouched)."""
+        with self._lock:
+            self._entries.clear()
+            if reset_stats:
+                self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+    def _lookup(self, key: str) -> Any:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+        value = self._disk_read(key)
+        with self._lock:
+            if value is not _MISS:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self._entries[key] = value
+                if self.capacity is not None:
+                    while len(self._entries) > self.capacity:
+                        self._entries.popitem(last=False)
+                        self.stats.evictions += 1
+            else:
+                self.stats.misses += 1
+        return value
+
+    def _disk_path(self, key: str) -> Optional[str]:
+        if self.directory is None:
+            return None
+        return os.path.join(self.directory, key[:2], f"{key}.pkl")
+
+    def _disk_path_exists(self, key: str) -> bool:
+        path = self._disk_path(key)
+        return path is not None and os.path.exists(path)
+
+    def _disk_read(self, key: str) -> Any:
+        path = self._disk_path(key)
+        if path is None or not os.path.exists(path):
+            return _MISS
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            # A corrupt or unreadable entry behaves like a miss; it will be
+            # overwritten by the recomputed value.
+            return _MISS
+
+    def _disk_write(self, key: str, value: Any) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            tmp_path = f"{path}.tmp.{os.getpid()}"
+            with open(tmp_path, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        except (OSError, pickle.PickleError):
+            # The disk tier is best-effort: an unwritable store degrades the
+            # cache to memory-only instead of failing the compilation.
+            pass
+
+    def __repr__(self) -> str:
+        tier = f", directory={self.directory!r}" if self.directory else ""
+        return (
+            f"SynthesisCache(entries={len(self._entries)}, capacity={self.capacity}{tier}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses})"
+        )

@@ -1,0 +1,407 @@
+"""The ``python -m repro`` command line (the repro CLI).
+
+Three subcommands run workloads from :mod:`repro.workloads` through the
+registered compilers (``reqisc-full`` / ``reqisc-eff`` / baselines, see
+:func:`repro.experiments.common.build_compilers`) and emit the
+``CompilationResult.summary()`` rows as an aligned table, JSON or CSV:
+
+``compile``
+    Compile one workload (or an OpenQASM 2.0 file) with one compiler and
+    print its summary row plus per-pass statistics.
+
+``bench``
+    Compile one workload with several compilers and report each compiler's
+    metrics together with its reduction rates against the CNOT-ISA reference
+    (the paper's Table 2 convention).
+
+``suite``
+    Run a whole benchmark-suite selection through one compiler using the
+    :class:`~repro.service.batch.BatchCompiler` (``--workers N`` fans out
+    across processes) and report one row per program plus synthesis-cache
+    statistics.
+
+Synthesis results are cached in ``.repro-cache/`` by default (override with
+``--cache-dir``, disable with ``--no-cache``), so a second run of the same
+suite reuses every KAK decomposition and approximate-synthesis result from
+disk.
+
+Examples::
+
+    python -m repro compile --workload qft --compiler reqisc-full
+    python -m repro bench --workload tof --compilers qiskit-like,reqisc-eff
+    python -m repro suite --compiler reqisc-eff --workload qft --json
+    python -m repro suite --compiler reqisc-full --scale tiny --workers 4 --csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["build_parser", "main"]
+
+_DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing.
+# ---------------------------------------------------------------------------
+
+
+def _add_output_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--json", action="store_true", help="emit a JSON document on stdout")
+    group.add_argument("--csv", action="store_true", help="emit CSV rows on stdout")
+    parser.add_argument("--output", metavar="PATH", help="write the report to PATH instead of stdout")
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=_DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"on-disk synthesis cache directory (default: {_DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="in-memory cache entries before LRU eviction (default: 4096)",
+    )
+    parser.add_argument("--no-cache", action="store_true", help="disable the synthesis cache")
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=("tiny", "small", "medium"),
+        default="small",
+        help="benchmark-suite scale (default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base random seed (default: 0)")
+    _add_cache_arguments(parser)
+    _add_output_arguments(parser)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Compile quantum workloads with the ReQISC/Regulus reproduction.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = subparsers.add_parser(
+        "compile", help="compile one workload (or QASM file) with one compiler"
+    )
+    source = compile_parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--workload", metavar="NAME", help="benchmark category to compile")
+    source.add_argument("--qasm", metavar="PATH", help="OpenQASM 2.0 file to compile")
+    compile_parser.add_argument(
+        "--compiler", default="reqisc-full", metavar="NAME", help="compiler name (default: reqisc-full)"
+    )
+    _add_common_arguments(compile_parser)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="compare several compilers on one workload"
+    )
+    bench_parser.add_argument("--workload", required=True, metavar="NAME", help="benchmark category")
+    bench_parser.add_argument(
+        "--compilers",
+        default="qiskit-like,reqisc-eff,reqisc-full",
+        metavar="A,B,...",
+        help="comma-separated compiler names (default: qiskit-like,reqisc-eff,reqisc-full)",
+    )
+    _add_common_arguments(bench_parser)
+
+    suite_parser = subparsers.add_parser(
+        "suite", help="run a benchmark-suite selection through one compiler"
+    )
+    suite_parser.add_argument(
+        "--compiler", default="reqisc-full", metavar="NAME", help="compiler name (default: reqisc-full)"
+    )
+    suite_parser.add_argument(
+        "--workload",
+        action="append",
+        metavar="NAME",
+        help="restrict to this benchmark category (repeatable; default: whole suite)",
+    )
+    suite_parser.add_argument(
+        "--workers", type=int, default=1, metavar="N", help="worker processes (default: 1)"
+    )
+    suite_parser.add_argument(
+        "--max-qubits", type=int, default=None, metavar="N", help="skip programs larger than N qubits"
+    )
+    _add_common_arguments(suite_parser)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list available workloads and compiler names"
+    )
+    list_parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers.
+# ---------------------------------------------------------------------------
+
+
+def _make_cache(args: argparse.Namespace):
+    from repro.service.cache import SynthesisCache
+
+    if getattr(args, "no_cache", False):
+        return None
+    directory = args.cache_dir or None
+    return SynthesisCache(capacity=args.cache_capacity, directory=directory)
+
+
+def _load_workload(name: str, scale: str):
+    from repro.workloads.suite import benchmark_suite, suite_categories
+
+    categories = suite_categories()
+    if name not in categories:
+        raise SystemExit(
+            f"unknown workload {name!r}; available: {', '.join(categories)}"
+        )
+    return benchmark_suite(scale=scale, categories=[name])[0]
+
+
+def _compiler_names() -> List[str]:
+    return [
+        "qiskit-like",
+        "tket-like",
+        "qiskit-su4",
+        "tket-su4",
+        "bqskit-su4",
+        "reqisc-eff",
+        "reqisc-full",
+        "reqisc-nc",
+        "reqisc-sabre",
+    ]
+
+
+def _render(report: Dict[str, Any], rows: List[Dict[str, Any]], args: argparse.Namespace) -> str:
+    """Serialize a report as JSON, CSV (rows only) or an aligned text table."""
+    if getattr(args, "json", False):
+        return json.dumps(report, indent=2, default=_json_default)
+    if getattr(args, "csv", False):
+        buffer = io.StringIO()
+        columns: List[str] = []
+        for row in rows:
+            for column in row:
+                if column not in columns:
+                    columns.append(column)
+        writer = csv.DictWriter(buffer, fieldnames=columns)
+        writer.writeheader()
+        writer.writerows(rows)
+        return buffer.getvalue().rstrip("\n")
+    from repro.experiments.common import format_rows
+
+    lines = [format_rows(rows, title=report.get("title", ""))]
+    cache = report.get("cache")
+    if cache:
+        lines.append(
+            "cache: hits={hits} (disk {disk_hits})  misses={misses}  evictions={evictions}".format(**cache)
+        )
+    if "elapsed_seconds" in report:
+        lines.append(f"elapsed: {report['elapsed_seconds']:.2f}s")
+    for name, message in report.get("errors", []):
+        lines.append(f"ERROR {name}: {message}")
+    return "\n".join(lines)
+
+
+def _json_default(value: Any) -> Any:
+    try:
+        import numpy as np
+
+        if isinstance(value, np.integer):
+            return int(value)
+        if isinstance(value, np.floating):
+            return float(value)
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        pass
+    return str(value)
+
+
+def _emit(text: str, args: argparse.Namespace) -> None:
+    output = getattr(args, "output", None)
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {output}", file=sys.stderr)
+    else:
+        print(text)
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations.
+# ---------------------------------------------------------------------------
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.experiments.common import build_compilers
+
+    cache = _make_cache(args)
+    if args.qasm:
+        from repro.circuits.qasm import qasm_to_circuit
+
+        try:
+            with open(args.qasm, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise SystemExit(f"cannot read QASM file {args.qasm!r}: {exc}")
+        circuit = qasm_to_circuit(text)
+        name = args.qasm
+    else:
+        case = _load_workload(args.workload, args.scale)
+        circuit, name = case.circuit, case.name
+
+    start = time.perf_counter()
+    registry = build_compilers([args.compiler], seed=args.seed, synthesis_cache=cache)
+    result = registry[args.compiler].compile(circuit)
+    elapsed = time.perf_counter() - start
+
+    row: Dict[str, Any] = {"benchmark": name, "num_qubits": circuit.num_qubits}
+    row.update(result.summary())
+    report = {
+        "command": "compile",
+        "title": f"compile {name} [{args.compiler}]",
+        "rows": [row],
+        "passes": [vars(record) for record in result.pass_records],
+        "cache": cache.stats.as_dict() if cache else None,
+        "elapsed_seconds": elapsed,
+    }
+    _emit(_render(report, [row], args), args)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.common import (
+        build_compilers,
+        reduction_percent,
+        reference_cnot_circuit,
+        reference_metrics,
+    )
+
+    cache = _make_cache(args)
+    case = _load_workload(args.workload, args.scale)
+    names = [name.strip() for name in args.compilers.split(",") if name.strip()]
+
+    reference = reference_cnot_circuit(case.circuit)
+    base = reference_metrics(reference)
+    start = time.perf_counter()
+    registry = build_compilers(names, seed=args.seed, synthesis_cache=cache)
+    rows: List[Dict[str, Any]] = []
+    for name in names:
+        result = registry[name].compile(case.circuit)
+        # ``summary()`` is ISA-aware (CNOT pulse for CNOT-ISA baselines,
+        # genAshN for SU(4) results), so the reductions below follow the
+        # paper's Table 2 convention directly.
+        row: Dict[str, Any] = {"benchmark": case.name}
+        row.update(result.summary())
+        row["2q_reduction_pct"] = reduction_percent(base["num_2q"], row["num_2q"])
+        row["depth_reduction_pct"] = reduction_percent(base["depth_2q"], row["depth_2q"])
+        row["duration_reduction_pct"] = reduction_percent(base["duration"], row["duration"])
+        rows.append(row)
+    elapsed = time.perf_counter() - start
+
+    report = {
+        "command": "bench",
+        "title": f"bench {case.name} (reference #2Q = {base['num_2q']})",
+        "reference": base,
+        "rows": rows,
+        "cache": cache.stats.as_dict() if cache else None,
+        "elapsed_seconds": elapsed,
+    }
+    _emit(_render(report, rows, args), args)
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from repro.service.batch import BatchCompiler
+    from repro.workloads.suite import benchmark_suite, suite_categories
+
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    cache = _make_cache(args)
+    categories: Optional[List[str]] = args.workload or None
+    if categories:
+        known = suite_categories()
+        for category in categories:
+            if category not in known:
+                raise SystemExit(
+                    f"unknown workload {category!r}; available: {', '.join(known)}"
+                )
+    cases = benchmark_suite(scale=args.scale, categories=categories, max_qubits=args.max_qubits)
+    if not cases:
+        raise SystemExit("the requested suite selection is empty")
+
+    engine = BatchCompiler(
+        compiler=args.compiler, workers=args.workers, seed=args.seed, cache=cache
+    )
+    batch = engine.compile_all(cases)
+
+    rows: List[Dict[str, Any]] = []
+    for case, item in zip(cases, batch.items):
+        if item.result is None:
+            continue
+        row: Dict[str, Any] = {
+            "category": case.category,
+            "benchmark": case.name,
+            "num_qubits": case.num_qubits,
+        }
+        row.update(item.result.summary())
+        rows.append(row)
+
+    report = {
+        "command": "suite",
+        "title": f"suite [{args.compiler}] scale={args.scale} workers={args.workers}",
+        "compiler": args.compiler,
+        "scale": args.scale,
+        "workers": args.workers,
+        "seed": args.seed,
+        "rows": rows,
+        "errors": list(batch.errors),
+        "cache": batch.cache_stats.as_dict() if cache else None,
+        "elapsed_seconds": batch.elapsed_seconds,
+    }
+    _emit(_render(report, rows, args), args)
+    return 1 if batch.errors else 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.workloads.suite import suite_categories
+
+    payload = {"workloads": suite_categories(), "compilers": _compiler_names()}
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print("workloads: " + ", ".join(payload["workloads"]))
+        print("compilers: " + ", ".join(payload["compilers"]))
+    return 0
+
+
+_COMMANDS = {
+    "compile": _cmd_compile,
+    "bench": _cmd_bench,
+    "suite": _cmd_suite,
+    "list": _cmd_list,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

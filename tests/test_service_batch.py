@@ -1,0 +1,179 @@
+"""Tests for the batch compilation engine (repro.service.batch)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.passes.hierarchical import HierarchicalSynthesisPass, partition_into_blocks
+from repro.compiler.passes.template_synthesis import TemplateSynthesisPass
+from repro.service.batch import BatchCompiler
+from repro.service.cache import SynthesisCache
+from repro.workloads.suite import benchmark_suite
+
+
+def _circuits_identical(first, second):
+    """Bit-exact circuit equality: same gates, qubits, params and matrices."""
+    if first.num_qubits != second.num_qubits or len(first) != len(second):
+        return False
+    for a, b in zip(first, second):
+        if a.qubits != b.qubits or a.gate.name != b.gate.name:
+            return False
+        if a.gate.params != b.gate.params:
+            return False
+        if not np.array_equal(a.gate.matrix, b.gate.matrix):
+            return False
+    return True
+
+
+def test_parallel_batch_matches_sequential_bit_for_bit(tmp_path):
+    cases = benchmark_suite(scale="tiny", categories=["grover", "mult", "qft", "tof"])
+    sequential = BatchCompiler(compiler="reqisc-eff", workers=1, seed=3).compile_all(cases)
+    parallel = BatchCompiler(
+        compiler="reqisc-eff",
+        workers=2,
+        seed=3,
+        cache=SynthesisCache(directory=str(tmp_path / "cache")),
+    ).compile_all(cases)
+
+    assert len(sequential.items) == len(parallel.items) == len(cases)
+    for seq_item, par_item in zip(sequential.items, parallel.items):
+        assert seq_item.ok and par_item.ok
+        assert seq_item.name == par_item.name
+        assert seq_item.seed == par_item.seed
+        assert _circuits_identical(seq_item.result.circuit, par_item.result.circuit)
+
+
+def test_batch_results_are_ordered_and_seeded():
+    cases = benchmark_suite(scale="tiny", categories=["modulo", "mult", "square"])
+    batch = BatchCompiler(compiler="reqisc-eff", seed=10).compile_all(cases)
+    assert [item.name for item in batch.items] == [case.name for case in cases]
+    assert [item.index for item in batch.items] == [0, 1, 2]
+    assert [item.seed for item in batch.items] == [10, 11, 12]
+
+
+def test_batch_accepts_plain_circuits_and_pairs():
+    bell = QuantumCircuit(2, "bell")
+    bell.h(0)
+    bell.cx(0, 1)
+    batch = BatchCompiler(compiler="reqisc-eff").compile_all([bell, ("renamed", bell)])
+    assert [item.name for item in batch.items] == ["bell", "renamed"]
+    assert all(item.ok for item in batch.items)
+
+
+def test_batch_captures_errors_without_raising():
+    bell = QuantumCircuit(2, "bell")
+    bell.h(0)
+    bell.cx(0, 1)
+    batch = BatchCompiler(compiler="no-such-compiler").compile_all([bell])
+    assert not batch.items[0].ok
+    assert "no-such-compiler" in batch.items[0].error
+    assert batch.errors and batch.errors[0][0] == "bell"
+
+
+def test_batch_summaries_carry_headline_metrics():
+    batch = BatchCompiler(compiler="reqisc-eff").compile_suite(
+        scale="tiny", categories=["qft"]
+    )
+    rows = batch.summaries()
+    assert len(rows) == 1
+    row = rows[0]
+    for key in ("benchmark", "num_qubits", "compiler", "num_2q", "depth_2q",
+                "distinct_2q", "duration", "routing_overhead", "compile_seconds"):
+        assert key in row
+    assert row["compiler"] == "reqisc-eff"
+    assert row["duration"] > 0
+
+
+def test_summary_duration_is_isa_aware():
+    from repro.circuits.metrics import circuit_duration, cnot_isa_duration_model
+    from repro.compiler.baselines import CnotBaselineCompiler
+    from repro.compiler.reqisc import ReQISCCompiler
+    from repro.microarch.durations import su4_duration_model
+    from repro.microarch.hamiltonian import CouplingHamiltonian
+
+    circuit = QuantumCircuit(3, "isa_check")
+    circuit.h(0)
+    circuit.ccx(0, 1, 2)
+
+    cnot = CnotBaselineCompiler(name="qiskit-like").compile(circuit)
+    assert cnot.properties["isa"] == "cnot"
+    expected = circuit_duration(cnot.circuit, cnot_isa_duration_model())
+    assert cnot.summary()["duration"] == pytest.approx(expected)
+
+    su4 = ReQISCCompiler(mode="eff").compile(circuit)
+    assert su4.properties["isa"] == "su4"
+    coupling = CouplingHamiltonian.xy(1.0)
+    expected = circuit_duration(su4.circuit, su4_duration_model(coupling))
+    assert su4.summary()["duration"] == pytest.approx(expected)
+
+
+def test_cached_compilation_is_identical_and_hits(tmp_path):
+    cases = benchmark_suite(scale="tiny", categories=["tof"])
+    plain = BatchCompiler(compiler="reqisc-eff", seed=0).compile_all(cases)
+    cache = SynthesisCache(directory=str(tmp_path / "cache"))
+    first = BatchCompiler(compiler="reqisc-eff", seed=0, cache=cache).compile_all(cases)
+    second = BatchCompiler(compiler="reqisc-eff", seed=0, cache=cache).compile_all(cases)
+
+    assert _circuits_identical(plain.items[0].result.circuit, first.items[0].result.circuit)
+    assert _circuits_identical(plain.items[0].result.circuit, second.items[0].result.circuit)
+    assert first.cache_stats.puts > 0
+    assert second.cache_stats.hits > 0
+    assert second.cache_stats.misses == 0
+
+
+# ---------------------------------------------------------------------------
+# Pass-level cache wiring.
+# ---------------------------------------------------------------------------
+
+
+def _dense_three_qubit_circuit():
+    circuit = QuantumCircuit(3, "dense")
+    rng = np.random.default_rng(5)
+    for _ in range(6):
+        a, b = rng.choice(3, size=2, replace=False)
+        circuit.cx(int(a), int(b))
+        circuit.rz(float(rng.uniform(0, 1)), int(b))
+    return circuit
+
+
+def test_hierarchical_resynthesis_consults_cache():
+    from repro.synthesis.approximate import ApproximateSynthesizer
+
+    cache = SynthesisCache()
+    synthesizer = ApproximateSynthesizer(tolerance=1e-3, restarts=1, seed=1, max_iterations=60)
+    pass_ = HierarchicalSynthesisPass(
+        tolerance=1e-3, synthesizer=synthesizer, cache=cache
+    )
+    blocks, _ = partition_into_blocks(_dense_three_qubit_circuit(), block_size=3)
+    dense = [b for b in blocks if b.num_two_qubit_gates > pass_.threshold]
+    assert dense, "test circuit must produce at least one dense block"
+    first = pass_._resynthesize(dense[0])
+    assert cache.stats.misses == 1 and cache.stats.puts == 1
+    second = pass_._resynthesize(dense[0])
+    assert cache.stats.hits == 1
+    if first is None:
+        assert second is None
+    else:
+        assert [i.qubits for i in first] == [i.qubits for i in second]
+
+
+def test_template_pass_memoizes_whole_output():
+    cache = SynthesisCache()
+    pass_ = TemplateSynthesisPass(cache=cache)
+    circuit = QuantumCircuit(3, "ccx_once")
+    circuit.ccx(0, 1, 2)
+    first = pass_.run(circuit, {})
+    assert cache.stats.misses == 1
+    second = pass_.run(circuit, {})
+    assert cache.stats.hits == 1
+    assert _circuits_identical(first, second)
+    # The cached circuit is copied on return: mutating one must not leak.
+    second.h(0)
+    third = pass_.run(circuit, {})
+    assert len(third) == len(first)
+    # A content-identical circuit under a different name hits the cache but
+    # keeps its own name.
+    renamed = circuit.copy("other_name")
+    fourth = pass_.run(renamed, {})
+    assert cache.stats.hits >= 2
+    assert fourth.name == "other_name"

@@ -1,0 +1,225 @@
+"""Tests for the content-addressed synthesis cache (repro.service.cache)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.linalg.random import haar_random_su4
+from repro.linalg.weyl import install_kak_cache, installed_kak_cache, kak_decompose
+from repro.service.cache import (
+    CacheStats,
+    SynthesisCache,
+    circuit_fingerprint,
+    unitary_fingerprint,
+)
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints.
+# ---------------------------------------------------------------------------
+
+
+def test_unitary_fingerprint_is_stable():
+    matrix = haar_random_su4(rng=np.random.default_rng(1))
+    assert unitary_fingerprint(matrix) == unitary_fingerprint(matrix)
+    assert unitary_fingerprint(matrix, "kak") == unitary_fingerprint(matrix.copy(), "kak")
+
+
+def test_unitary_fingerprint_ignores_memory_layout():
+    matrix = haar_random_su4(rng=np.random.default_rng(2))
+    fortran = np.asfortranarray(matrix)
+    assert unitary_fingerprint(matrix) == unitary_fingerprint(fortran)
+
+
+def test_unitary_fingerprint_discriminates_value_shape_and_context():
+    rng = np.random.default_rng(3)
+    a = haar_random_su4(rng=rng)
+    b = haar_random_su4(rng=rng)
+    assert unitary_fingerprint(a) != unitary_fingerprint(b)
+    assert unitary_fingerprint(a) != unitary_fingerprint(a, "kak")
+    assert unitary_fingerprint(a, "kak") != unitary_fingerprint(a, "hier")
+    # A tiny perturbation must change the fingerprint (exact-byte keys).
+    perturbed = a.copy()
+    perturbed[0, 0] += 1e-15
+    assert unitary_fingerprint(a) != unitary_fingerprint(perturbed)
+    assert unitary_fingerprint(np.eye(2)) != unitary_fingerprint(np.eye(4))
+
+
+def test_circuit_fingerprint_tracks_content():
+    def build(angle):
+        circuit = QuantumCircuit(2, "fp")
+        circuit.h(0)
+        circuit.cp(angle, 0, 1)
+        return circuit
+
+    assert circuit_fingerprint(build(0.5)) == circuit_fingerprint(build(0.5))
+    assert circuit_fingerprint(build(0.5)) != circuit_fingerprint(build(0.25))
+    assert circuit_fingerprint(build(0.5)) != circuit_fingerprint(build(0.5), "ctx")
+
+
+def test_circuit_fingerprint_distinguishes_unitary_gates_with_same_label():
+    rng = np.random.default_rng(4)
+    first = QuantumCircuit(2).unitary(haar_random_su4(rng=rng), [0, 1], label="su4")
+    second = QuantumCircuit(2).unitary(haar_random_su4(rng=rng), [0, 1], label="su4")
+    assert circuit_fingerprint(first) != circuit_fingerprint(second)
+
+
+# ---------------------------------------------------------------------------
+# Hit / miss / eviction behaviour.
+# ---------------------------------------------------------------------------
+
+
+def test_cache_hit_and_miss_counters():
+    cache = SynthesisCache(capacity=8)
+    assert cache.get("absent") is None
+    assert cache.stats.misses == 1 and cache.stats.hits == 0
+    cache.put("key", 42)
+    assert cache.get("key") == 42
+    assert cache.stats.hits == 1 and cache.stats.puts == 1
+
+
+def test_cache_get_or_compute_computes_once():
+    cache = SynthesisCache()
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return "value"
+
+    assert cache.get_or_compute("k", compute) == "value"
+    assert cache.get_or_compute("k", compute) == "value"
+    assert len(calls) == 1
+    assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+
+def test_cache_negative_result_is_cached():
+    cache = SynthesisCache()
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return None
+
+    assert cache.get_or_compute("reject", compute) is None
+    assert cache.get_or_compute("reject", compute) is None
+    assert len(calls) == 1
+
+
+def test_cache_lru_eviction():
+    cache = SynthesisCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refresh "a": now "b" is least recently used
+    cache.put("c", 3)
+    assert cache.stats.evictions == 1
+    assert cache.get("b") is None
+    assert cache.get("a") == 1 and cache.get("c") == 3
+
+
+def test_cache_clear_keeps_or_resets_stats():
+    cache = SynthesisCache()
+    cache.put("a", 1)
+    cache.get("a")
+    cache.clear()
+    assert len(cache) == 0 and cache.stats.hits == 1
+    cache.clear(reset_stats=True)
+    assert cache.stats.hits == 0
+
+
+# ---------------------------------------------------------------------------
+# Disk tier.
+# ---------------------------------------------------------------------------
+
+
+def test_disk_cache_round_trip(tmp_path):
+    directory = str(tmp_path / "store")
+    writer = SynthesisCache(directory=directory)
+    payload = {"matrix": np.eye(4, dtype=complex), "count": 3}
+    writer.put("entry", payload)
+
+    reader = SynthesisCache(directory=directory)
+    value = reader.get("entry")
+    assert value is not None and value["count"] == 3
+    assert np.array_equal(value["matrix"], payload["matrix"])
+    assert reader.stats.disk_hits == 1 and reader.stats.hits == 1
+    # Second read is served from memory.
+    reader.get("entry")
+    assert reader.stats.disk_hits == 1 and reader.stats.hits == 2
+
+
+def test_negative_entry_survives_disk_round_trip(tmp_path):
+    directory = str(tmp_path / "store")
+    writer = SynthesisCache(directory=directory)
+    writer.put("reject", None)
+
+    reader = SynthesisCache(directory=directory)
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return "should not run"
+
+    # The disk-loaded sentinel must still read back as None (not recompute,
+    # and not leak the sentinel object).
+    assert reader.get("reject", default="sentinel-default") is None
+    assert reader.get_or_compute("reject", compute) is None
+    assert calls == []
+
+
+def test_corrupt_disk_entry_degrades_to_miss(tmp_path):
+    directory = str(tmp_path / "store")
+    writer = SynthesisCache(directory=directory)
+    writer.put("entry", [1, 2, 3])
+    path = writer._disk_path("entry")
+    with open(path, "wb") as handle:
+        handle.write(b"not a pickle")
+    reader = SynthesisCache(directory=directory)
+    assert reader.get("entry") is None
+    assert reader.stats.misses == 1
+
+
+def test_cache_stats_snapshot_and_delta():
+    stats = CacheStats(hits=5, misses=2)
+    snap = stats.snapshot()
+    stats.hits += 3
+    delta = stats.delta_since(snap)
+    assert delta.hits == 3 and delta.misses == 0
+    merged = CacheStats()
+    merged.merge(delta)
+    assert merged.hits == 3
+
+
+# ---------------------------------------------------------------------------
+# KAK cache hook.
+# ---------------------------------------------------------------------------
+
+
+def test_kak_decompose_uses_installed_cache():
+    matrix = haar_random_su4(rng=np.random.default_rng(11))
+    cache = SynthesisCache()
+    previous = install_kak_cache(cache)
+    try:
+        assert installed_kak_cache() is cache
+        first = kak_decompose(matrix)
+        second = kak_decompose(matrix)
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+        assert second is first  # the cached object itself is returned
+        assert first.reconstruction_error(matrix) < 1e-8
+    finally:
+        install_kak_cache(previous)
+    assert installed_kak_cache() is previous
+
+
+def test_kak_cached_result_matches_uncached():
+    matrix = haar_random_su4(rng=np.random.default_rng(12))
+    plain = kak_decompose(matrix)
+    cache = SynthesisCache()
+    previous = install_kak_cache(cache)
+    try:
+        kak_decompose(matrix)
+        cached = kak_decompose(matrix)
+    finally:
+        install_kak_cache(previous)
+    assert cached.coordinates == plain.coordinates
+    assert np.array_equal(cached.l1, plain.l1)
+    assert np.array_equal(cached.r2, plain.r2)

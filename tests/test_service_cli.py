@@ -1,0 +1,162 @@
+"""End-to-end tests for the ``python -m repro`` CLI (repro.service.cli)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.service.cli import build_parser, main
+
+
+def _run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_suite_json_end_to_end_and_second_run_hits_cache(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    argv = [
+        "suite", "--compiler", "reqisc-eff", "--workload", "qft",
+        "--scale", "tiny", "--json", "--cache-dir", cache_dir,
+    ]
+    code, out = _run(capsys, *argv)
+    assert code == 0
+    report = json.loads(out)
+    assert report["command"] == "suite"
+    assert report["errors"] == []
+    assert len(report["rows"]) == 1
+    row = report["rows"][0]
+    assert row["category"] == "qft"
+    assert row["compiler"] == "reqisc-eff"
+    for key in ("num_2q", "depth_2q", "distinct_2q", "duration",
+                "routing_overhead", "compile_seconds"):
+        assert key in row
+
+    # Second run on the same suite must show nonzero synthesis-cache hits,
+    # served from the on-disk store of the first run.
+    code, out = _run(capsys, *argv)
+    assert code == 0
+    second = json.loads(out)
+    assert second["cache"]["hits"] > 0
+    assert second["cache"]["disk_hits"] > 0
+    assert second["cache"]["misses"] == 0
+    assert second["rows"] == report["rows"] or _rows_equal(second["rows"], report["rows"])
+
+
+def _rows_equal(a, b):
+    """Row equality ignoring wall-clock compile time."""
+    def strip(rows):
+        return [{k: v for k, v in row.items() if k != "compile_seconds"} for row in rows]
+    return strip(a) == strip(b)
+
+
+def test_suite_parallel_workers_match_sequential(tmp_path, capsys):
+    base = [
+        "suite", "--compiler", "reqisc-eff", "--workload", "qft", "--workload", "grover",
+        "--scale", "tiny", "--json", "--cache-dir", str(tmp_path / "cache"),
+    ]
+    code, out = _run(capsys, *base)
+    assert code == 0
+    sequential = json.loads(out)
+    code, out = _run(capsys, *base, "--workers", "2")
+    assert code == 0
+    parallel = json.loads(out)
+    assert _rows_equal(sequential["rows"], parallel["rows"])
+
+
+def test_suite_csv_output(tmp_path, capsys):
+    code, out = _run(
+        capsys,
+        "suite", "--compiler", "reqisc-eff", "--workload", "mult",
+        "--scale", "tiny", "--csv", "--no-cache",
+    )
+    assert code == 0
+    rows = list(csv.DictReader(io.StringIO(out)))
+    assert len(rows) == 1
+    assert rows[0]["category"] == "mult"
+    assert "duration" in rows[0] and "num_2q" in rows[0]
+
+
+def test_compile_workload_json_includes_passes(tmp_path, capsys):
+    code, out = _run(
+        capsys,
+        "compile", "--workload", "qft", "--compiler", "reqisc-eff",
+        "--scale", "tiny", "--json", "--cache-dir", str(tmp_path / "cache"),
+    )
+    assert code == 0
+    report = json.loads(out)
+    assert report["command"] == "compile"
+    assert report["rows"][0]["benchmark"] == "qft_4"
+    pass_names = [record["name"] for record in report["passes"]]
+    assert "template_synthesis" in pass_names
+    assert "finalize_to_can" in pass_names
+
+
+def test_compile_qasm_file(tmp_path, capsys):
+    qasm = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+cx q[0],q[1];
+"""
+    path = tmp_path / "bell.qasm"
+    path.write_text(qasm)
+    code, out = _run(
+        capsys,
+        "compile", "--qasm", str(path), "--compiler", "reqisc-eff",
+        "--json", "--no-cache",
+    )
+    assert code == 0
+    report = json.loads(out)
+    assert report["rows"][0]["num_qubits"] == 2
+    assert report["rows"][0]["num_2q"] >= 1
+
+
+def test_bench_reports_reductions(tmp_path, capsys):
+    code, out = _run(
+        capsys,
+        "bench", "--workload", "grover", "--scale", "tiny",
+        "--compilers", "qiskit-like,reqisc-eff", "--json",
+        "--cache-dir", str(tmp_path / "cache"),
+    )
+    assert code == 0
+    report = json.loads(out)
+    assert [row["compiler"] for row in report["rows"]] == ["qiskit-like", "reqisc-eff"]
+    for row in report["rows"]:
+        assert "2q_reduction_pct" in row
+        assert "duration_reduction_pct" in row
+    # The CNOT reference reduces by definition to 0% for itself at best.
+    assert report["reference"]["num_2q"] > 0
+
+
+def test_output_file_option(tmp_path, capsys):
+    target = tmp_path / "report.json"
+    code, _ = _run(
+        capsys,
+        "suite", "--compiler", "reqisc-eff", "--workload", "square",
+        "--scale", "tiny", "--json", "--no-cache", "--output", str(target),
+    )
+    assert code == 0
+    report = json.loads(target.read_text())
+    assert report["rows"][0]["category"] == "square"
+
+
+def test_list_subcommand(capsys):
+    code, out = _run(capsys, "list", "--json")
+    assert code == 0
+    payload = json.loads(out)
+    assert "qft" in payload["workloads"]
+    assert "reqisc-full" in payload["compilers"]
+
+
+def test_unknown_workload_exits_with_message(capsys):
+    with pytest.raises(SystemExit):
+        main(["compile", "--workload", "not-a-workload", "--no-cache"])
+
+
+def test_parser_rejects_json_and_csv_together():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["suite", "--json", "--csv"])

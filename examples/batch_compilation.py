@@ -16,7 +16,11 @@ def main() -> None:
     cache_dir = tempfile.mkdtemp(prefix="repro-cache-")
     try:
         cache = SynthesisCache(capacity=4096, directory=cache_dir)
-        engine = BatchCompiler(compiler="reqisc-eff", workers=2, seed=0, cache=cache)
+        # ``target`` accepts a preset name (sized per circuit) or a concrete
+        # repro.Target; every summary row reports the resolved target name.
+        engine = BatchCompiler(
+            compiler="reqisc-eff", workers=2, seed=0, cache=cache, target="xy-line"
+        )
 
         # First pass: everything is a cache miss and gets synthesized.
         batch = engine.compile_suite(scale="tiny", categories=["qft", "tof", "grover"])

@@ -11,7 +11,8 @@ Run with ``python examples/gate_mirroring.py``.
 
 import numpy as np
 
-from repro import ReQISCCompiler
+from repro import compile
+from repro.target import reqisc_pipeline
 from repro.linalg.predicates import allclose_up_to_global_phase
 from repro.linalg.weyl import coordinate_norm, weyl_coordinates
 from repro.simulators.unitary import permutation_unitary
@@ -20,8 +21,8 @@ from repro.workloads.algorithms import qft_circuit
 
 def main() -> None:
     program = qft_circuit(4)
-    compiler = ReQISCCompiler(mode="eff", mirror_threshold=0.3)
-    result = compiler.compile(program)
+    spec = reqisc_pipeline(mode="eff", mirror_threshold=0.3)
+    result = compile(program, spec=spec)
 
     print("qft_4 compiled with ReQISC-Eff (mirror threshold r = 0.3)\n")
     print(f"#SU(4) gates          : {result.num_two_qubit_gates}")

@@ -10,14 +10,14 @@ Run with ``python examples/pulse_level_workflow.py``.
 
 from collections import OrderedDict
 
-from repro import CouplingHamiltonian, ReQISCCompiler
+from repro import CouplingHamiltonian, compile
 from repro.microarch.scheme import GenAshNScheme
 from repro.workloads.algorithms import qaoa_maxcut
 
 
 def main() -> None:
     program = qaoa_maxcut(num_qubits=5, layers=1, seed=3)
-    result = ReQISCCompiler(mode="eff").compile(program)
+    result = compile(program, spec="reqisc-eff")
     print(f"{program.name}: {result.num_two_qubit_gates} SU(4) gates, "
           f"{result.distinct_two_qubit_gates} distinct\n")
 

@@ -3,7 +3,7 @@
 Run with ``python examples/quickstart.py``.
 """
 
-from repro import CnotBaselineCompiler, CouplingHamiltonian, QuantumCircuit, ReQISCCompiler
+from repro import CouplingHamiltonian, QuantumCircuit, Target, compile
 from repro.circuits.metrics import circuit_duration, cnot_isa_duration_model
 from repro.linalg.weyl import canonical_gate
 from repro.microarch.durations import su4_duration_model
@@ -21,9 +21,10 @@ def main() -> None:
     program.ccx(0, 1, 2)
 
     coupling = CouplingHamiltonian.xy(1.0)
+    target = Target(coupling=coupling)
 
-    baseline = CnotBaselineCompiler(name="qiskit-like").compile(program)
-    reqisc = ReQISCCompiler(mode="eff", coupling=coupling).compile(program)
+    baseline = compile(program, target=target, spec="qiskit-like")
+    reqisc = compile(program, target=target, spec="reqisc-eff")
 
     print("== Logical-level compilation ==")
     print(f"baseline (CNOT ISA):   #2Q = {baseline.num_two_qubit_gates:3d}  "

@@ -7,21 +7,22 @@ SU(4) flow with and without SWAP absorption.
 Run with ``python examples/topology_aware_routing.py``.
 """
 
-from repro import CnotBaselineCompiler, ReQISCCompiler
+from repro import Target, compile
 from repro.compiler.routing.coupling_map import CouplingMap
+from repro.target import reqisc_pipeline
 from repro.workloads.algorithms import qft_circuit
 
 
 def main() -> None:
     program = qft_circuit(6)
-    chain = CouplingMap.line(program.num_qubits)
+    chain = Target.xy_line(program.num_qubits)
 
-    cnot_logical = CnotBaselineCompiler(name="cnot-logical").compile(program)
-    cnot_routed = CnotBaselineCompiler(name="cnot-routed", coupling_map=chain).compile(program)
+    cnot_logical = compile(program, spec="qiskit-like")
+    cnot_routed = compile(program, target=chain, spec="qiskit-like")
 
-    su4_logical = ReQISCCompiler(mode="eff").compile(program)
-    su4_sabre = ReQISCCompiler(mode="eff", coupling_map=chain, use_mirroring_sabre=False).compile(program)
-    su4_mirroring = ReQISCCompiler(mode="eff", coupling_map=chain).compile(program)
+    su4_logical = compile(program, spec="reqisc-eff")
+    su4_sabre = compile(program, target=chain, spec="reqisc-sabre")
+    su4_mirroring = compile(program, target=chain, spec="reqisc-eff")
 
     print(f"Workload: {program.name} on a {program.num_qubits}-qubit 1D chain\n")
     print("CNOT ISA (baseline + SABRE):")

@@ -20,11 +20,12 @@ def _long_description() -> str:
 
 setup(
     name="repro-reqisc",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of the ReQISC reconfigurable SU(4) quantum ISA: the "
-        "genAshN microarchitecture, the Regulus compiler, and a batch "
-        "compilation service with synthesis caching."
+        "genAshN microarchitecture, the Regulus compiler with a first-class "
+        "Target / declarative pipeline API, and a batch compilation service "
+        "with synthesis caching."
     ),
     long_description=_long_description(),
     long_description_content_type="text/markdown",

@@ -10,18 +10,35 @@ workload generators and the experiment harness).
 The public API is re-exported lazily so that importing ``repro`` stays cheap
 and sub-packages can be used independently::
 
-    from repro import QuantumCircuit, ReQISCCompiler, CouplingHamiltonian
+    from repro import QuantumCircuit, Target, compile, CouplingHamiltonian
     from repro import GenAshNScheme, weyl_coordinates
+
+The preferred compilation entry point is ``compile(circuit, target=...,
+spec=...)`` (see :mod:`repro.target`); the compiler classes are deprecated
+shims over it.
 """
 
-from importlib import import_module
-from typing import Any
+from repro._lazy import lazy_exports
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Mapping from public attribute name to "module:attribute" location.
 _LAZY_EXPORTS = {
     "QuantumCircuit": "repro.circuits.circuit:QuantumCircuit",
+    "Target": "repro.target.target:Target",
+    "resolve_target": "repro.target.target:resolve_target",
+    "target_presets": "repro.target.target:target_presets",
+    "compile": "repro.target.api:compile",
+    "PipelineCompiler": "repro.target.api:PipelineCompiler",
+    "PipelineSpec": "repro.target.pipeline:PipelineSpec",
+    "PipelineStage": "repro.target.pipeline:PipelineStage",
+    "PassRegistry": "repro.target.pipeline:PassRegistry",
+    "PASS_REGISTRY": "repro.target.pipeline:PASS_REGISTRY",
+    "named_pipeline": "repro.target.pipeline:named_pipeline",
+    "register_pipeline": "repro.target.pipeline:register_pipeline",
+    "pipeline_names": "repro.target.pipeline:pipeline_names",
+    "PropertySet": "repro.target.properties:PropertySet",
+    "CouplingMap": "repro.compiler.routing.coupling_map:CouplingMap",
     "gates": "repro.gates.standard:",
     "KAKDecomposition": "repro.linalg.weyl:KAKDecomposition",
     "canonical_gate": "repro.linalg.weyl:canonical_gate",
@@ -31,7 +48,7 @@ _LAZY_EXPORTS = {
     "GenAshNScheme": "repro.microarch.scheme:GenAshNScheme",
     "PulseProgram": "repro.microarch.scheme:PulseProgram",
     "ReQISCCompiler": "repro.compiler.reqisc:ReQISCCompiler",
-    "CompilationResult": "repro.compiler.reqisc:CompilationResult",
+    "CompilationResult": "repro.compiler.result:CompilationResult",
     "CnotBaselineCompiler": "repro.compiler.baselines:CnotBaselineCompiler",
     "Su4FusionBaselineCompiler": "repro.compiler.baselines:Su4FusionBaselineCompiler",
     "BatchCompiler": "repro.service.batch:BatchCompiler",
@@ -43,18 +60,6 @@ _LAZY_EXPORTS = {
 
 __all__ = sorted(_LAZY_EXPORTS) + ["__version__"]
 
-
-def __getattr__(name: str) -> Any:
-    try:
-        target = _LAZY_EXPORTS[name]
-    except KeyError:
-        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
-    module_name, _, attribute = target.partition(":")
-    module = import_module(module_name)
-    value = module if not attribute else getattr(module, attribute)
-    globals()[name] = value
-    return value
-
-
-def __dir__() -> list:
-    return __all__
+__getattr__, __dir__ = lazy_exports(
+    "repro", _LAZY_EXPORTS, globals(), extra=("__version__",)
+)

@@ -1,6 +1,12 @@
-"""The Regulus compiler: SU(4)-native compilation framework of ReQISC."""
+"""The Regulus compiler: SU(4)-native compilation framework of ReQISC.
 
-from repro.compiler.reqisc import CompilationResult, ReQISCCompiler
+The public API is the declarative one in :mod:`repro.target` (``Target`` +
+``PipelineSpec`` + ``compile``); the compiler classes re-exported here are
+deprecated shims kept for backward compatibility.
+"""
+
+from repro.compiler.result import CompilationResult
+from repro.compiler.reqisc import ReQISCCompiler
 from repro.compiler.baselines import CnotBaselineCompiler, Su4FusionBaselineCompiler
 
 __all__ = [

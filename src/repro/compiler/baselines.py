@@ -1,43 +1,29 @@
-"""Baseline compilers.
+"""Deprecated shims for the baseline compilers.
 
-The paper compares ReQISC against Qiskit (O3), TKet (PauliSimp +
-FullPeepholeOptimise) and BQSKit, plus "-SU(4)" variants of each that append
-a 2Q-block fusion stage.  None of those packages are available offline, so
-this module provides functionally equivalent stand-ins built from the same
-substrate passes (see DESIGN.md, "Substitutions"):
-
-* :class:`CnotBaselineCompiler` — decompose to ``{CX, 1Q}``, merge 1Q runs,
-  cancel/merge adjacent 2Q gates, consolidate 2Q runs and re-synthesize them
-  with minimal CNOT counts; optional rotation-merging "PauliSimp" front end
-  and SABRE routing with SWAP decomposition + physical peephole.
-* :class:`Su4FusionBaselineCompiler` — the "-SU(4)" variants: the CNOT
-  baseline followed by naive 2Q-block fusion into SU(4) gates
-  (``qiskit-su4`` / ``tket-su4``), or aggressive per-block numerical
-  re-synthesis without template reuse (``bqskit-su4``).
+The baseline pipelines (Qiskit-O3 / TKet stand-ins and the "-SU(4)" fusion
+variants — see DESIGN.md, "Substitutions") now live in the declarative API:
+:func:`repro.target.pipeline.cnot_baseline_pipeline` and
+:func:`repro.target.pipeline.su4_fusion_pipeline` build the named
+:class:`~repro.target.pipeline.PipelineSpec` objects, and
+:func:`repro.target.api.compile` runs them against a
+:class:`~repro.target.target.Target`.  The classes below are deprecated thin
+wrappers kept for backward compatibility; output is bit-identical.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Any, Dict, Optional
+import warnings
+from typing import Optional
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.compiler.passes.base import PassManager
-from repro.compiler.passes.decompose import DecomposeToCnotPass
-from repro.compiler.passes.finalize import FinalizeToCanPass
-from repro.compiler.passes.fuse import Fuse2QBlocksPass
-from repro.compiler.passes.hierarchical import HierarchicalSynthesisPass
-from repro.compiler.passes.peephole import PeepholeOptimizationPass
-from repro.compiler.reqisc import CompilationResult
+from repro.compiler.result import CompilationResult
 from repro.compiler.routing.coupling_map import CouplingMap
-from repro.compiler.routing.sabre import SabreRouter
-from repro.synthesis.approximate import ApproximateSynthesizer
 
 __all__ = ["CnotBaselineCompiler", "Su4FusionBaselineCompiler"]
 
 
 class CnotBaselineCompiler:
-    """CNOT-ISA baseline compiler (Qiskit-O3 / TKet stand-in)."""
+    """Deprecated: use ``compile(circuit, spec='qiskit-like'/'tket-like')``."""
 
     def __init__(
         self,
@@ -48,6 +34,13 @@ class CnotBaselineCompiler:
         physical_optimization: bool = True,
         seed: int = 0,
     ) -> None:
+        warnings.warn(
+            "CnotBaselineCompiler is deprecated; use repro.target.compile("
+            "circuit, target=..., spec='qiskit-like'/'tket-like') instead "
+            "(see docs/targets.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.baseline_name = name
         self.pauli_simp = pauli_simp
         self.consolidate = consolidate
@@ -62,44 +55,22 @@ class CnotBaselineCompiler:
 
     def compile(self, circuit: QuantumCircuit) -> CompilationResult:
         """Compile ``circuit`` to the optimized ``{CX, U3}`` representation."""
-        start = time.perf_counter()
-        properties: Dict[str, Any] = {"isa": "cnot"}
-        manager = PassManager()
-        if self.pauli_simp:
-            # Rotation merging on the high-level representation (the role of
-            # TKet's PauliSimp for Trotterized / variational programs).
-            manager.append(PeepholeOptimizationPass(consolidate=False))
-        manager.append(DecomposeToCnotPass())
-        manager.append(PeepholeOptimizationPass(consolidate=self.consolidate))
-        compiled = manager.run(circuit, properties)
-        records = list(manager.records)
+        from repro.target.api import compile as compile_circuit
+        from repro.target.pipeline import cnot_baseline_pipeline
+        from repro.target.target import Target
 
-        if self.coupling_map is not None:
-            router = SabreRouter(self.coupling_map, mirroring=False, seed=self.seed)
-            routing = router.run(compiled)
-            properties["initial_layout"] = routing.initial_layout
-            properties["final_layout"] = routing.final_layout
-            properties["inserted_swaps"] = routing.inserted_swaps
-            properties["absorbed_swaps"] = routing.absorbed_swaps
-            physical = PassManager()
-            physical.append(DecomposeToCnotPass())
-            if self.physical_optimization:
-                physical.append(PeepholeOptimizationPass(consolidate=self.consolidate))
-            compiled = physical.run(routing.circuit, properties)
-            records.extend(physical.records)
-
-        elapsed = time.perf_counter() - start
-        return CompilationResult(
-            circuit=compiled,
-            compiler_name=self.name,
-            compile_seconds=elapsed,
-            properties=properties,
-            pass_records=records,
+        spec = cnot_baseline_pipeline(
+            name=self.baseline_name,
+            pauli_simp=self.pauli_simp,
+            consolidate=self.consolidate,
+            physical_optimization=self.physical_optimization,
         )
+        target = Target.from_device(coupling_map=self.coupling_map, isa="cnot")
+        return compile_circuit(circuit, target=target, spec=spec, seed=self.seed)
 
 
 class Su4FusionBaselineCompiler:
-    """"-SU(4)" baseline variants (Section 6.6.1 ablation)."""
+    """Deprecated: use ``compile(circuit, spec='qiskit-su4'/'tket-su4'/'bqskit-su4')``."""
 
     def __init__(
         self,
@@ -108,6 +79,13 @@ class Su4FusionBaselineCompiler:
         synthesis_tolerance: float = 1e-6,
         seed: int = 0,
     ) -> None:
+        warnings.warn(
+            "Su4FusionBaselineCompiler is deprecated; use repro.target.compile("
+            "circuit, target=..., spec='qiskit-su4'/'tket-su4'/'bqskit-su4') "
+            "instead (see docs/targets.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if variant not in ("qiskit-su4", "tket-su4", "bqskit-su4"):
             raise ValueError("variant must be qiskit-su4, tket-su4 or bqskit-su4")
         self.variant = variant
@@ -122,41 +100,12 @@ class Su4FusionBaselineCompiler:
 
     def compile(self, circuit: QuantumCircuit) -> CompilationResult:
         """Compile ``circuit`` into SU(4) gates without ReQISC's co-design."""
-        start = time.perf_counter()
-        cnot_stage = CnotBaselineCompiler(
-            name=self.variant,
-            pauli_simp=self.variant == "tket-su4",
-            coupling_map=self.coupling_map,
-            seed=self.seed,
+        from repro.target.api import compile as compile_circuit
+        from repro.target.pipeline import su4_fusion_pipeline
+        from repro.target.target import Target
+
+        spec = su4_fusion_pipeline(
+            variant=self.variant, synthesis_tolerance=self.synthesis_tolerance
         )
-        cnot_result = cnot_stage.compile(circuit)
-        properties = dict(cnot_result.properties)
-        properties["isa"] = "su4"
-        manager = PassManager()
-        if self.variant == "bqskit-su4":
-            # Aggressive per-block numerical re-synthesis with no template
-            # reuse: good #2Q, but every block yields fresh SU(4) parameters
-            # (the "distinct-gate explosion" discussed in the ablation study).
-            manager.append(Fuse2QBlocksPass(form="unitary"))
-            manager.append(
-                HierarchicalSynthesisPass(
-                    threshold=2,
-                    tolerance=self.synthesis_tolerance,
-                    enable_dag_compacting=False,
-                    synthesizer=ApproximateSynthesizer(
-                        tolerance=self.synthesis_tolerance, restarts=2, seed=self.seed
-                    ),
-                )
-            )
-        else:
-            manager.append(Fuse2QBlocksPass(form="unitary"))
-        manager.append(FinalizeToCanPass())
-        compiled = manager.run(cnot_result.circuit, properties)
-        elapsed = time.perf_counter() - start
-        return CompilationResult(
-            circuit=compiled,
-            compiler_name=self.name,
-            compile_seconds=elapsed,
-            properties=properties,
-            pass_records=cnot_result.pass_records + list(manager.records),
-        )
+        target = Target.from_device(coupling_map=self.coupling_map)
+        return compile_circuit(circuit, target=target, spec=spec, seed=self.seed)

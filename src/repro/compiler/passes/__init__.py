@@ -17,6 +17,7 @@ from repro.compiler.passes.hierarchical import (
 )
 from repro.compiler.passes.mirror import MirrorNearIdentityPass
 from repro.compiler.passes.finalize import FinalizeToCanPass
+from repro.compiler.passes.route import SabreRoutingPass
 
 __all__ = [
     "CompilerPass",
@@ -34,4 +35,5 @@ __all__ = [
     "partition_into_blocks",
     "MirrorNearIdentityPass",
     "FinalizeToCanPass",
+    "SabreRoutingPass",
 ]

@@ -6,7 +6,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, MutableMapping, Optional, Tuple
 
 from repro.circuits.circuit import QuantumCircuit
 
@@ -59,23 +59,44 @@ class PassManager:
     def run(
         self,
         circuit: QuantumCircuit,
-        properties: Optional[Dict[str, Any]] = None,
+        properties: Optional[MutableMapping[str, Any]] = None,
     ) -> QuantumCircuit:
         """Execute the pipeline on ``circuit``.
 
         ``properties`` is shared by every pass; pass it in to retrieve
-        pass-produced metadata (final layout, qubit permutation, ...).
+        pass-produced metadata (final layout, qubit permutation, ...).  Any
+        mutable mapping works; omitting it creates a fresh
+        :class:`~repro.target.properties.PropertySet`.
+
+        ``self.records`` is a *view of the last run*: each call builds a
+        fresh records list (see :meth:`run_with_records`), so a manager
+        reused across compilations or threads never mixes histories.
+        """
+        compiled, _ = self.run_with_records(circuit, properties)
+        return compiled
+
+    def run_with_records(
+        self,
+        circuit: QuantumCircuit,
+        properties: Optional[MutableMapping[str, Any]] = None,
+    ) -> Tuple[QuantumCircuit, List[PassRecord]]:
+        """Like :meth:`run`, but also return this run's own records list.
+
+        The returned list is freshly allocated per call — callers that keep
+        it are immune to the manager being rerun concurrently or later.
         """
         if properties is None:
-            properties = {}
-        self.records = []
+            from repro.target.properties import PropertySet
+
+            properties = PropertySet()
+        records: List[PassRecord] = []
         current = circuit
         for compiler_pass in self.passes:
             start = time.perf_counter()
             gates_before = len(current)
             two_qubit_before = current.count_two_qubit_gates()
             current = compiler_pass.run(current, properties)
-            self.records.append(
+            records.append(
                 PassRecord(
                     name=repr(compiler_pass),
                     seconds=time.perf_counter() - start,
@@ -85,4 +106,5 @@ class PassManager:
                     two_qubit_after=current.count_two_qubit_gates(),
                 )
             )
-        return current
+        self.records = records
+        return current, records

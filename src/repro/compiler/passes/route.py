@@ -1,0 +1,62 @@
+"""Routing as a first-class pipeline pass.
+
+Historically routing was special-cased outside the :class:`PassManager`
+(each compiler called :class:`~repro.compiler.routing.sabre.SabreRouter` by
+hand between two pass-manager runs).  Wrapping it as a
+:class:`~repro.compiler.passes.base.CompilerPass` lets declarative
+:class:`~repro.target.pipeline.PipelineSpec` stages express the whole
+pipeline — including hardware-aware stages — as one ordered list.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.passes.base import CompilerPass
+from repro.compiler.routing.coupling_map import CouplingMap
+from repro.compiler.routing.sabre import SabreRouter
+
+__all__ = ["SabreRoutingPass"]
+
+
+class SabreRoutingPass(CompilerPass):
+    """Map the circuit onto a device topology with (mirroring-)SABRE.
+
+    Writes ``initial_layout``, ``final_layout``, ``inserted_swaps`` and
+    ``absorbed_swaps`` into the property set.  With no coupling map the pass
+    is a no-op, so topology-free targets can share the same pipeline spec.
+    """
+
+    name = "sabre_route"
+
+    def __init__(
+        self,
+        coupling_map: Optional[CouplingMap],
+        mirroring: bool = True,
+        seed: int = 0,
+        lookahead_size: int = 20,
+        lookahead_weight: float = 0.5,
+    ) -> None:
+        self.coupling_map = coupling_map
+        self.mirroring = mirroring
+        self.seed = seed
+        self.lookahead_size = lookahead_size
+        self.lookahead_weight = lookahead_weight
+
+    def run(self, circuit: QuantumCircuit, properties: Dict[str, Any]) -> QuantumCircuit:
+        if self.coupling_map is None:
+            return circuit
+        router = SabreRouter(
+            self.coupling_map,
+            mirroring=self.mirroring,
+            lookahead_size=self.lookahead_size,
+            lookahead_weight=self.lookahead_weight,
+            seed=self.seed,
+        )
+        routing = router.run(circuit)
+        properties["initial_layout"] = routing.initial_layout
+        properties["final_layout"] = routing.final_layout
+        properties["inserted_swaps"] = routing.inserted_swaps
+        properties["absorbed_swaps"] = routing.absorbed_swaps
+        return routing.circuit

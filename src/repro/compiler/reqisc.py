@@ -1,42 +1,30 @@
-"""The end-to-end ReQISC compiler (Regulus).
+"""Deprecated shim for the end-to-end ReQISC compiler (Regulus).
 
-Pipeline (Section 5.4.1): program-aware template-based synthesis, then
-(ReQISC-Full only) program-agnostic hierarchical synthesis, compile-time gate
-mirroring for near-identity gates, optional SU(4)-aware routing
-(mirroring-SABRE) and finalization into the ``{Can, U3}`` ISA.
+The pipeline (Section 5.4.1) now lives in the declarative API:
+:func:`repro.target.pipeline.reqisc_pipeline` builds the named
+:class:`~repro.target.pipeline.PipelineSpec` (``reqisc-full`` /
+``reqisc-eff``) and :func:`repro.target.api.compile` runs it against a
+:class:`~repro.target.target.Target`.  :class:`ReQISCCompiler` is kept as a
+thin deprecated wrapper so existing code keeps working bit-identically::
 
-Two practical configurations are provided, mirroring the paper:
+    # deprecated                                # preferred
+    ReQISCCompiler(mode="eff",                  compile(circuit,
+                   coupling_map=cmap                    target=Target.from_device(
+                   ).compile(circuit)                       coupling_map=cmap),
+                                                        spec="reqisc-eff")
 
-* ``ReQISC-Eff`` — skips hierarchical synthesis, keeping the set of distinct
-  SU(4) gates (and therefore the calibration overhead) minimal.
-* ``ReQISC-Full`` — adds hierarchical synthesis (with DAG compacting and
-  conditional approximate synthesis) for the most aggressive 2Q reduction.
+:class:`CompilationResult` moved to :mod:`repro.compiler.result` and is
+re-exported here for backward compatibility.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+import warnings
+from typing import Optional
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.metrics import (
-    circuit_duration,
-    cnot_isa_duration_model,
-    count_distinct_two_qubit_gates,
-    count_two_qubit_gates,
-    two_qubit_depth,
-)
-from repro.compiler.passes.base import PassManager, PassRecord
-from repro.compiler.passes.finalize import FinalizeToCanPass
-from repro.compiler.passes.fuse import Fuse2QBlocksPass
-from repro.compiler.passes.hierarchical import HierarchicalSynthesisPass
-from repro.compiler.passes.mirror import MirrorNearIdentityPass
-from repro.compiler.passes.template_synthesis import TemplateSynthesisPass
+from repro.compiler.result import CompilationResult
 from repro.compiler.routing.coupling_map import CouplingMap
-from repro.compiler.routing.sabre import SabreRouter
-from repro.linalg.weyl import install_kak_cache
-from repro.microarch.durations import su4_duration_model
 from repro.microarch.hamiltonian import CouplingHamiltonian
 from repro.service.cache import SynthesisCache
 from repro.synthesis.approximate import ApproximateSynthesizer
@@ -45,95 +33,14 @@ from repro.synthesis.templates import TemplateLibrary
 __all__ = ["CompilationResult", "ReQISCCompiler"]
 
 
-@dataclass
-class CompilationResult:
-    """Compiled circuit plus the metadata needed by the evaluation harness."""
-
-    circuit: QuantumCircuit
-    compiler_name: str
-    compile_seconds: float
-    properties: Dict[str, Any] = field(default_factory=dict)
-    pass_records: List[PassRecord] = field(default_factory=list)
-
-    # -- metrics -----------------------------------------------------------
-    @property
-    def num_two_qubit_gates(self) -> int:
-        """#2Q of the compiled circuit."""
-        return count_two_qubit_gates(self.circuit)
-
-    @property
-    def two_qubit_depth(self) -> int:
-        """Depth2Q of the compiled circuit."""
-        return two_qubit_depth(self.circuit)
-
-    @property
-    def distinct_two_qubit_gates(self) -> int:
-        """Number of distinct 2Q gates (calibration overhead proxy)."""
-        return count_distinct_two_qubit_gates(self.circuit)
-
-    def duration(self, coupling: Optional[CouplingHamiltonian] = None) -> float:
-        """Pulse duration of the compiled circuit.
-
-        SU(4)-ISA results are costed with the genAshN duration model;
-        CNOT-ISA results (compilers that stamp ``properties["isa"] = "cnot"``)
-        with the conventional CNOT pulse, matching the paper's Table 2
-        convention.
-        """
-        if self.properties.get("isa") == "cnot":
-            return circuit_duration(self.circuit, cnot_isa_duration_model())
-        coupling = coupling or CouplingHamiltonian.xy(1.0)
-        return circuit_duration(self.circuit, su4_duration_model(coupling))
-
-    @property
-    def final_permutation(self) -> List[int]:
-        """Qubit permutation accumulated by mirroring and routing."""
-        permutation = self.properties.get("mirror_permutation")
-        if permutation is None:
-            permutation = list(range(self.circuit.num_qubits))
-        return permutation
-
-    @property
-    def routing_overhead(self) -> Optional[int]:
-        """Inserted (non-absorbed) SWAPs, when routing ran."""
-        return self.properties.get("inserted_swaps")
-
-    def summary(self) -> Dict[str, Any]:
-        """Flat dictionary used by the experiment harness and the CLI.
-
-        Carries the paper's headline metrics: #2Q, Depth2Q, the distinct-gate
-        calibration proxy, the genAshN pulse duration and (when routing ran)
-        the inserted-SWAP overhead.
-        """
-        return {
-            "compiler": self.compiler_name,
-            "num_2q": self.num_two_qubit_gates,
-            "depth_2q": self.two_qubit_depth,
-            "distinct_2q": self.distinct_two_qubit_gates,
-            "duration": self.duration(),
-            "routing_overhead": self.routing_overhead,
-            "compile_seconds": self.compile_seconds,
-        }
-
-
 class ReQISCCompiler:
-    """End-to-end SU(4)-native compiler.
+    """Deprecated: use ``repro.target.compile(circuit, target=..., spec=...)``.
 
-    Parameters
-    ----------
-    mode:
-        ``"full"`` (default) or ``"eff"`` — whether the hierarchical synthesis
-        pass runs.
-    coupling:
-        Device coupling Hamiltonian (used only for duration reporting; the
-        logical-level output is hardware-agnostic).
-    coupling_map:
-        When given, the SU(4)-aware mirroring-SABRE routing pass maps the
-        circuit onto this topology.
-    synthesis_cache:
-        Optional :class:`~repro.service.cache.SynthesisCache` shared by the
-        template pass, the hierarchical pass and the KAK-backed finalization,
-        so repeated blocks (within a circuit, across a suite, or across
-        processes via the disk tier) are synthesized once.
+    The constructor keeps the historical kwargs and delegates to the shared
+    entry point; compiled circuits are bit-identical to the declarative path.
+    One deliberate metric fix: ``duration()``/``summary()`` now cost against
+    the compiler's own ``coupling`` — the pre-1.2 implementation stored the
+    kwarg but silently priced every result with the default XY model.
     """
 
     def __init__(
@@ -153,6 +60,13 @@ class ReQISCCompiler:
         seed: int = 0,
         synthesis_cache: Optional[SynthesisCache] = None,
     ) -> None:
+        warnings.warn(
+            "ReQISCCompiler is deprecated; use repro.target.compile(circuit, "
+            "target=Target(...), spec='reqisc-full'/'reqisc-eff') instead "
+            "(see docs/targets.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if mode not in ("full", "eff"):
             raise ValueError("mode must be 'full' or 'eff'")
         self.mode = mode
@@ -176,70 +90,30 @@ class ReQISCCompiler:
         """Reporting name (``reqisc-full`` / ``reqisc-eff``)."""
         return f"reqisc-{self.mode}"
 
-    def _build_pass_manager(self) -> PassManager:
-        manager = PassManager()
-        manager.append(
-            TemplateSynthesisPass(library=self.template_library, cache=self.synthesis_cache)
-        )
-        if self.mode == "full":
-            manager.append(
-                HierarchicalSynthesisPass(
-                    block_size=self.block_size,
-                    threshold=self.synthesis_threshold,
-                    tolerance=self.synthesis_tolerance,
-                    enable_dag_compacting=self.enable_dag_compacting,
-                    synthesizer=self.synthesizer,
-                    max_synthesis_blocks=self.max_synthesis_blocks,
-                    cache=self.synthesis_cache,
-                )
-            )
-        else:
-            manager.append(Fuse2QBlocksPass(form="unitary"))
-        manager.append(MirrorNearIdentityPass(threshold=self.mirror_threshold))
-        return manager
-
     def compile(self, circuit: QuantumCircuit) -> CompilationResult:
-        """Compile ``circuit`` into the SU(4) ``{Can, U3}`` ISA.
+        """Compile ``circuit`` into the SU(4) ``{Can, U3}`` ISA."""
+        from repro.target.api import compile as compile_circuit
+        from repro.target.pipeline import reqisc_pipeline
+        from repro.target.target import Target
 
-        When a ``synthesis_cache`` is configured it is also installed as the
-        process-global KAK cache for the duration of the call, so the
-        finalization pass reuses canonical decompositions of repeated blocks.
-        """
-        start = time.perf_counter()
-        previous_kak_cache = None
-        if self.synthesis_cache is not None:
-            previous_kak_cache = install_kak_cache(self.synthesis_cache)
-        try:
-            properties: Dict[str, Any] = {"isa": "su4"}
-            manager = self._build_pass_manager()
-            logical = manager.run(circuit, properties)
-            records = list(manager.records)
-
-            if self.coupling_map is not None:
-                router = SabreRouter(
-                    self.coupling_map,
-                    mirroring=self.use_mirroring_sabre,
-                    seed=self.seed,
-                )
-                routing = router.run(logical)
-                logical = routing.circuit
-                properties["initial_layout"] = routing.initial_layout
-                properties["final_layout"] = routing.final_layout
-                properties["inserted_swaps"] = routing.inserted_swaps
-                properties["absorbed_swaps"] = routing.absorbed_swaps
-
-            finalize = PassManager([FinalizeToCanPass()])
-            compiled = finalize.run(logical, properties)
-            records.extend(finalize.records)
-        finally:
-            if self.synthesis_cache is not None:
-                install_kak_cache(previous_kak_cache)
-
-        elapsed = time.perf_counter() - start
-        return CompilationResult(
-            circuit=compiled,
-            compiler_name=self.name,
-            compile_seconds=elapsed,
-            properties=properties,
-            pass_records=records,
+        spec = reqisc_pipeline(
+            mode=self.mode,
+            mirror_threshold=self.mirror_threshold,
+            block_size=self.block_size,
+            synthesis_threshold=self.synthesis_threshold,
+            synthesis_tolerance=self.synthesis_tolerance,
+            enable_dag_compacting=self.enable_dag_compacting,
+            use_mirroring_sabre=self.use_mirroring_sabre,
+            template_library=self.template_library,
+            synthesizer=self.synthesizer,
+            max_synthesis_blocks=self.max_synthesis_blocks,
+            name=self.name,
+        )
+        target = Target.from_device(self.coupling, self.coupling_map)
+        return compile_circuit(
+            circuit,
+            target=target,
+            spec=spec,
+            seed=self.seed,
+            synthesis_cache=self.synthesis_cache,
         )

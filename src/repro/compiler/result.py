@@ -1,0 +1,121 @@
+"""Compilation results: the compiled circuit plus evaluation metadata.
+
+:class:`CompilationResult` is produced by :func:`repro.target.api.compile`
+(and by the deprecated compiler-class shims that delegate to it).  All of the
+paper's headline metrics — #2Q, Depth2Q, the distinct-gate calibration proxy,
+the genAshN pulse duration and the inserted-SWAP routing overhead — are
+derived here, costed against the :class:`~repro.target.target.Target` the
+circuit was compiled for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.metrics import (
+    circuit_duration,
+    count_distinct_two_qubit_gates,
+    count_two_qubit_gates,
+    two_qubit_depth,
+)
+from repro.compiler.passes.base import PassRecord
+from repro.microarch.hamiltonian import CouplingHamiltonian
+
+__all__ = ["CompilationResult"]
+
+
+def _coerce_target(coupling: Union[None, CouplingHamiltonian, "Target"]) -> Optional["Target"]:
+    """Normalize a legacy ``coupling`` argument into a (cached) Target."""
+    if coupling is None:
+        return None
+    from repro.target.target import Target
+
+    if isinstance(coupling, Target):
+        return coupling
+    return Target.for_coupling(coupling)
+
+
+@dataclass
+class CompilationResult:
+    """Compiled circuit plus the metadata needed by the evaluation harness."""
+
+    circuit: QuantumCircuit
+    compiler_name: str
+    compile_seconds: float
+    properties: Mapping[str, Any] = field(default_factory=dict)
+    pass_records: List[PassRecord] = field(default_factory=list)
+    #: The device the circuit was compiled for; ``None`` falls back to the
+    #: cached default XY target when costing durations.
+    target: Optional[Any] = None
+
+    # -- metrics -----------------------------------------------------------
+    @property
+    def num_two_qubit_gates(self) -> int:
+        """#2Q of the compiled circuit."""
+        return count_two_qubit_gates(self.circuit)
+
+    @property
+    def two_qubit_depth(self) -> int:
+        """Depth2Q of the compiled circuit."""
+        return two_qubit_depth(self.circuit)
+
+    @property
+    def distinct_two_qubit_gates(self) -> int:
+        """Number of distinct 2Q gates (calibration overhead proxy)."""
+        return count_distinct_two_qubit_gates(self.circuit)
+
+    def duration(
+        self, target: Union[None, CouplingHamiltonian, "Target"] = None
+    ) -> float:
+        """Pulse duration of the compiled circuit.
+
+        SU(4)-ISA results are costed with the genAshN duration model;
+        CNOT-ISA results (compilers that stamp ``properties["isa"] = "cnot"``)
+        with the conventional CNOT pulse, matching the paper's Table 2
+        convention.
+
+        ``target`` may be a :class:`~repro.target.target.Target`, a bare
+        :class:`CouplingHamiltonian` (legacy calling convention) or ``None``
+        (use the result's own target, falling back to the cached default XY
+        device).  The per-gate duration model is memoized on the target, so
+        repeated calls — e.g. ``summary()`` over a whole suite — reuse one
+        model instead of rebuilding it per circuit.
+        """
+        from repro.target.target import Target
+
+        resolved = _coerce_target(target) or self.target or Target.default()
+        isa = "cnot" if self.properties.get("isa") == "cnot" else "su4"
+        return circuit_duration(self.circuit, resolved.duration_model(isa))
+
+    @property
+    def final_permutation(self) -> List[int]:
+        """Qubit permutation accumulated by mirroring and routing."""
+        permutation = self.properties.get("mirror_permutation")
+        if permutation is None:
+            permutation = list(range(self.circuit.num_qubits))
+        return permutation
+
+    @property
+    def routing_overhead(self) -> Optional[int]:
+        """Inserted (non-absorbed) SWAPs, when routing ran."""
+        return self.properties.get("inserted_swaps")
+
+    def summary(self) -> Dict[str, Any]:
+        """Flat dictionary used by the experiment harness and the CLI.
+
+        Carries the paper's headline metrics: #2Q, Depth2Q, the distinct-gate
+        calibration proxy, the genAshN pulse duration, (when routing ran) the
+        inserted-SWAP overhead, and the name of the target device.
+        """
+        return {
+            "compiler": self.compiler_name,
+            "target": self.target.name if self.target is not None else None,
+            "num_2q": self.num_two_qubit_gates,
+            "depth_2q": self.two_qubit_depth,
+            "distinct_2q": self.distinct_two_qubit_gates,
+            "duration": self.duration(),
+            "routing_overhead": self.routing_overhead,
+            "compile_seconds": self.compile_seconds,
+        }

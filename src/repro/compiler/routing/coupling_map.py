@@ -34,7 +34,7 @@ class CouplingMap:
     def line(cls, num_qubits: int) -> "CouplingMap":
         """1D chain ``q0 - q1 - ... - q_{n-1}``."""
         edges = [(i, i + 1) for i in range(num_qubits - 1)]
-        return cls(edges, num_qubits=num_qubits, name="chain")
+        return cls(edges, num_qubits=num_qubits, name="line")
 
     @classmethod
     def grid(cls, rows: int, columns: int) -> "CouplingMap":
@@ -61,6 +61,54 @@ class CouplingMap:
         """Fully connected topology (logical-level compilation)."""
         edges = [(i, j) for i in range(num_qubits) for j in range(i + 1, num_qubits)]
         return cls(edges, num_qubits=num_qubits, name="all-to-all")
+
+    @classmethod
+    def heavy_hex(cls, rows: int = 1, columns: int = 1) -> "CouplingMap":
+        """IBM-style heavy-hex lattice of ``rows x columns`` hexagonal cells.
+
+        The heavy-hex graph is the hexagonal lattice with every edge
+        subdivided once, so qubits sit on both the vertices and the edges of
+        the hexagons and the maximum degree is 3.
+        """
+        lattice = nx.hexagonal_lattice_graph(rows, columns)
+        vertices = sorted(lattice.nodes())
+        index = {node: i for i, node in enumerate(vertices)}
+        edges: List[Tuple[int, int]] = []
+        next_qubit = len(vertices)
+        for u, v in sorted(tuple(sorted(edge)) for edge in lattice.edges()):
+            midpoint = next_qubit
+            next_qubit += 1
+            edges.append((index[u], midpoint))
+            edges.append((midpoint, index[v]))
+        return cls(edges, num_qubits=next_qubit, name="heavy-hex")
+
+    @classmethod
+    def heavy_hex_for(cls, num_qubits: int) -> "CouplingMap":
+        """Smallest square heavy-hex lattice with at least ``num_qubits`` qubits."""
+        cells = 1
+        while True:
+            lattice = cls.heavy_hex(cells, cells)
+            if lattice.num_qubits >= num_qubits:
+                return lattice
+            cells += 1
+
+    # -- serialization ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready payload (used by :class:`repro.target.target.Target`)."""
+        return {
+            "name": self.name,
+            "num_qubits": self.num_qubits,
+            "edges": [list(edge) for edge in self.edges],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CouplingMap":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            [tuple(edge) for edge in payload["edges"]],
+            num_qubits=payload.get("num_qubits"),
+            name=str(payload.get("name", "custom")),
+        )
 
     # -- queries ---------------------------------------------------------------
     @property

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.metrics import (
@@ -11,13 +11,14 @@ from repro.circuits.metrics import (
     count_two_qubit_gates,
     two_qubit_depth,
 )
-from repro.compiler.baselines import CnotBaselineCompiler, Su4FusionBaselineCompiler
 from repro.compiler.passes.decompose import decompose_to_cnot
-from repro.compiler.reqisc import ReQISCCompiler
 from repro.compiler.routing.coupling_map import CouplingMap
 from repro.microarch.durations import su4_duration_model
 from repro.microarch.hamiltonian import CouplingHamiltonian
 from repro.synthesis.approximate import ApproximateSynthesizer
+from repro.target.api import PipelineCompiler
+from repro.target.pipeline import named_pipeline, pipeline_names
+from repro.target.target import Target
 
 __all__ = [
     "reference_cnot_circuit",
@@ -63,7 +64,8 @@ def build_compilers(
     synthesis_tolerance: float = 1e-5,
     seed: int = 0,
     synthesis_cache: Optional[Any] = None,
-) -> Dict[str, Any]:
+    target: Union[None, str, Target] = None,
+) -> Dict[str, "PipelineCompiler"]:
     """Construct the compilers used across the experiments by name.
 
     Recognized names: ``qiskit-like``, ``tket-like``, ``qiskit-su4``,
@@ -71,60 +73,46 @@ def build_compilers(
     ``reqisc-nc`` (Full without DAG compacting) and ``reqisc-sabre``
     (Full/Eff with plain SABRE instead of mirroring-SABRE).
 
+    Each entry is a :class:`~repro.target.api.PipelineCompiler` — a named
+    :class:`~repro.target.pipeline.PipelineSpec` bound to the requested
+    ``target`` (or, when only the legacy ``coupling_map`` kwarg is given, a
+    target derived from it).  ``target`` may also be a preset name such as
+    ``"xy-line"``, resolved per circuit at compile time.
+
     ``synthesis_cache`` (a :class:`~repro.service.cache.SynthesisCache`) is
     forwarded to every ReQISC compiler so suite-level runs share synthesis
     results across programs.
     """
-    fast_synthesizer = ApproximateSynthesizer(
-        tolerance=synthesis_tolerance, restarts=1, seed=seed, max_iterations=200
-    )
-    registry: Dict[str, Any] = {}
+    if coupling_map is not None:
+        if target is not None:
+            raise ValueError(
+                "pass either target= or the legacy coupling_map=, not both "
+                "(use Target.from_device(coupling_map=...) to combine them)"
+            )
+        target = Target.from_device(coupling_map=coupling_map)
+
+    def fast_synthesizer() -> ApproximateSynthesizer:
+        return ApproximateSynthesizer(
+            tolerance=synthesis_tolerance, restarts=1, seed=seed, max_iterations=200
+        )
+
+    registry: Dict[str, PipelineCompiler] = {}
     for name in which:
-        if name == "qiskit-like":
-            registry[name] = CnotBaselineCompiler(name=name, coupling_map=coupling_map, seed=seed)
-        elif name == "tket-like":
-            registry[name] = CnotBaselineCompiler(
-                name=name, pauli_simp=True, coupling_map=coupling_map, seed=seed
-            )
-        elif name in ("qiskit-su4", "tket-su4", "bqskit-su4"):
-            registry[name] = Su4FusionBaselineCompiler(
-                variant=name, coupling_map=coupling_map, seed=seed
-            )
-        elif name == "reqisc-eff":
-            registry[name] = ReQISCCompiler(
-                mode="eff", coupling_map=coupling_map, seed=seed, synthesis_cache=synthesis_cache
-            )
-        elif name == "reqisc-full":
-            registry[name] = ReQISCCompiler(
-                mode="full",
-                coupling_map=coupling_map,
+        if name in ("reqisc-full", "reqisc-nc"):
+            spec = named_pipeline(
+                name,
                 synthesis_tolerance=synthesis_tolerance,
-                synthesizer=fast_synthesizer,
+                synthesizer=fast_synthesizer(),
                 max_synthesis_blocks=full_synthesis_budget,
-                seed=seed,
-                synthesis_cache=synthesis_cache,
             )
-        elif name == "reqisc-nc":
-            registry[name] = ReQISCCompiler(
-                mode="full",
-                coupling_map=coupling_map,
-                synthesis_tolerance=synthesis_tolerance,
-                synthesizer=fast_synthesizer,
-                max_synthesis_blocks=full_synthesis_budget,
-                enable_dag_compacting=False,
-                seed=seed,
-                synthesis_cache=synthesis_cache,
-            )
-        elif name == "reqisc-sabre":
-            registry[name] = ReQISCCompiler(
-                mode="eff",
-                coupling_map=coupling_map,
-                use_mirroring_sabre=False,
-                seed=seed,
-                synthesis_cache=synthesis_cache,
-            )
+        elif name in pipeline_names():
+            spec = named_pipeline(name)
         else:
             raise KeyError(f"unknown compiler name {name!r}")
+        cache = synthesis_cache if name.startswith("reqisc") else None
+        registry[name] = PipelineCompiler(
+            spec=spec, target=target, seed=seed, synthesis_cache=cache
+        )
     return registry
 
 

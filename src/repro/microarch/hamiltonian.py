@@ -63,6 +63,16 @@ def su2_from_rotation(rotation: np.ndarray) -> np.ndarray:
     return math.cos(angle / 2.0) * IDENTITY2 - 1j * math.sin(angle / 2.0) * generator
 
 
+def _complex_to_lists(matrix: np.ndarray) -> list:
+    """``[[ [re, im], ... ], ...]`` representation of a complex matrix."""
+    return [[[float(entry.real), float(entry.imag)] for entry in row] for row in np.asarray(matrix, dtype=complex)]
+
+
+def _lists_to_complex(rows: list) -> np.ndarray:
+    """Inverse of :func:`_complex_to_lists`."""
+    return np.array([[complex(re, im) for re, im in row] for row in rows], dtype=complex)
+
+
 def _pauli_decomposition(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float]:
     """Decompose a 4x4 Hermitian matrix in the two-qubit Pauli basis.
 
@@ -182,6 +192,40 @@ class CouplingHamiltonian:
             local_field_2=np.asarray(local_2, dtype=complex),
             identity_offset=offset,
             label=label,
+        )
+
+    # -- serialization ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready payload (used by :class:`repro.target.target.Target`).
+
+        Canonical-frame Hamiltonians serialize as their three coefficients
+        plus the label; frame changes and local fields are included only when
+        present so the common case stays human-editable.
+        """
+        payload: dict = {"a": self.a, "b": self.b, "c": self.c, "label": self.label}
+        if not self.is_canonical_frame():
+            payload["u1"] = _complex_to_lists(self.u1)
+            payload["u2"] = _complex_to_lists(self.u2)
+            payload["local_field_1"] = _complex_to_lists(self.local_field_1)
+            payload["local_field_2"] = _complex_to_lists(self.local_field_2)
+        if abs(self.identity_offset) > 1e-15:
+            payload["identity_offset"] = self.identity_offset
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CouplingHamiltonian":
+        """Inverse of :meth:`to_dict`."""
+        kwargs = {}
+        for key in ("u1", "u2", "local_field_1", "local_field_2"):
+            if key in payload:
+                kwargs[key] = _lists_to_complex(payload[key])
+        return cls(
+            float(payload["a"]),
+            float(payload["b"]),
+            float(payload["c"]),
+            identity_offset=float(payload.get("identity_offset", 0.0)),
+            label=str(payload.get("label", "custom")),
+            **kwargs,
         )
 
     # -- views ----------------------------------------------------------------

@@ -44,13 +44,19 @@ __all__ = ["BatchCompiler", "BatchItem", "BatchResult", "CompileJob"]
 
 @dataclass(frozen=True)
 class CompileJob:
-    """One unit of batch work: a named circuit plus its compiler spec."""
+    """One unit of batch work: a named circuit plus its compiler spec.
+
+    ``target`` is a :class:`~repro.target.target.Target`, a preset name
+    (resolved per circuit at compile time) or ``None`` for the default
+    device; it must be picklable since jobs cross process boundaries.
+    """
 
     index: int
     name: str
     circuit: QuantumCircuit
     compiler: str
     seed: int
+    target: Optional[Any] = None
     options: Tuple[Tuple[str, Any], ...] = ()
 
 
@@ -134,7 +140,11 @@ def _compile_job(job: CompileJob, cache: Optional[SynthesisCache]) -> BatchItem:
     item = BatchItem(index=job.index, name=job.name, compiler=job.compiler, seed=job.seed)
     try:
         registry = build_compilers(
-            [job.compiler], seed=job.seed, synthesis_cache=cache, **dict(job.options)
+            [job.compiler],
+            seed=job.seed,
+            synthesis_cache=cache,
+            target=job.target,
+            **dict(job.options),
         )
         item.result = registry[job.compiler].compile(job.circuit)
     except Exception as exc:  # noqa: BLE001 — batch items report, not crash
@@ -167,6 +177,10 @@ class BatchCompiler:
         Optional :class:`~repro.service.cache.SynthesisCache`.  Sequential
         runs use it directly; parallel workers build their own cache with the
         same capacity/directory spec (a disk directory makes it shared).
+    target:
+        Device to compile for: a :class:`~repro.target.target.Target`, a
+        preset name such as ``"xy-line"`` (sized per circuit), or ``None``
+        for the default logical device.
     compiler_options:
         Extra keyword arguments forwarded to ``build_compilers`` (for example
         ``coupling_map`` or ``full_synthesis_budget``).
@@ -178,6 +192,7 @@ class BatchCompiler:
         workers: int = 1,
         seed: int = 0,
         cache: Optional[SynthesisCache] = None,
+        target: Optional[Any] = None,
         compiler_options: Optional[Dict[str, Any]] = None,
     ) -> None:
         if workers < 1:
@@ -186,6 +201,7 @@ class BatchCompiler:
         self.workers = workers
         self.seed = seed
         self.cache = cache
+        self.target = target
         self.compiler_options = dict(compiler_options or {})
 
     # ------------------------------------------------------------------
@@ -252,6 +268,7 @@ class BatchCompiler:
                     circuit=circuit,
                     compiler=self.compiler,
                     seed=self.seed + index,
+                    target=self.target,
                     options=options,
                 )
             )

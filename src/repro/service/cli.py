@@ -20,6 +20,16 @@ registered compilers (``reqisc-full`` / ``reqisc-eff`` / baselines, see
     across processes) and report one row per program plus synthesis-cache
     statistics.
 
+``targets``
+    List the named :class:`~repro.target.target.Target` presets accepted by
+    ``--target``.
+
+Every compiling subcommand takes ``--target <preset-or-json-file>`` — a
+preset name (``xy-line``, ``heavy-hex``, ``all-to-all``, optionally suffixed
+with a qubit count like ``xy-line-16``; size-less presets are sized per
+circuit) or a path to a ``Target.to_dict()`` JSON file.  The target name is
+reported in every summary row.
+
 Synthesis results are cached in ``.repro-cache/`` by default (override with
 ``--cache-dir``, disable with ``--no-cache``), so a second run of the same
 suite reuses every KAK decomposition and approximate-synthesis result from
@@ -31,6 +41,8 @@ Examples::
     python -m repro bench --workload tof --compilers qiskit-like,reqisc-eff
     python -m repro suite --compiler reqisc-eff --workload qft --json
     python -m repro suite --compiler reqisc-full --scale tiny --workers 4 --csv
+    python -m repro suite --compiler reqisc-eff --target xy-line --format json
+    python -m repro targets
 """
 
 from __future__ import annotations
@@ -57,7 +69,22 @@ def _add_output_arguments(parser: argparse.ArgumentParser) -> None:
     group = parser.add_mutually_exclusive_group()
     group.add_argument("--json", action="store_true", help="emit a JSON document on stdout")
     group.add_argument("--csv", action="store_true", help="emit CSV rows on stdout")
+    group.add_argument(
+        "--format",
+        choices=("table", "json", "csv"),
+        dest="format",
+        help="output format (equivalent to --json / --csv; default: table)",
+    )
     parser.add_argument("--output", metavar="PATH", help="write the report to PATH instead of stdout")
+
+
+def _normalize_output_format(args: argparse.Namespace) -> None:
+    """Fold ``--format`` into the legacy ``--json`` / ``--csv`` flags."""
+    fmt = getattr(args, "format", None)
+    if fmt == "json":
+        args.json = True
+    elif fmt == "csv":
+        args.csv = True
 
 
 def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
@@ -85,6 +112,16 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         help="benchmark-suite scale (default: small)",
     )
     parser.add_argument("--seed", type=int, default=0, help="base random seed (default: 0)")
+    parser.add_argument(
+        "--target",
+        metavar="PRESET|PATH",
+        default=None,
+        help=(
+            "device target: a preset name (see `repro targets`; size-less "
+            "presets are sized per circuit) or a Target JSON file "
+            "(default: logical, no topology constraint)"
+        ),
+    )
     _add_cache_arguments(parser)
     _add_output_arguments(parser)
 
@@ -145,6 +182,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     list_parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
+    targets_parser = subparsers.add_parser(
+        "targets", help="list the named device-target presets accepted by --target"
+    )
+    targets_parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
     return parser
 
 
@@ -174,17 +216,25 @@ def _load_workload(name: str, scale: str):
 
 
 def _compiler_names() -> List[str]:
-    return [
-        "qiskit-like",
-        "tket-like",
-        "qiskit-su4",
-        "tket-su4",
-        "bqskit-su4",
-        "reqisc-eff",
-        "reqisc-full",
-        "reqisc-nc",
-        "reqisc-sabre",
-    ]
+    from repro.target.pipeline import pipeline_names
+
+    return pipeline_names()
+
+
+def _target_argument(args: argparse.Namespace) -> Optional[str]:
+    """Validate ``--target`` early so typos fail with a clean message."""
+    spec = getattr(args, "target", None)
+    if spec is None:
+        return None
+    from repro.target.target import resolve_target
+
+    try:
+        # A dummy qubit count sizes size-less presets just for validation;
+        # the real resolution happens per circuit at compile time.
+        resolve_target(spec, num_qubits=2)
+    except (ValueError, TypeError, OSError, KeyError) as exc:
+        raise SystemExit(f"invalid --target {spec!r}: {exc}")
+    return spec
 
 
 def _render(report: Dict[str, Any], rows: List[Dict[str, Any]], args: argparse.Namespace) -> str:
@@ -263,8 +313,11 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         case = _load_workload(args.workload, args.scale)
         circuit, name = case.circuit, case.name
 
+    target = _target_argument(args)
     start = time.perf_counter()
-    registry = build_compilers([args.compiler], seed=args.seed, synthesis_cache=cache)
+    registry = build_compilers(
+        [args.compiler], seed=args.seed, synthesis_cache=cache, target=target
+    )
     result = registry[args.compiler].compile(circuit)
     elapsed = time.perf_counter() - start
 
@@ -273,6 +326,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     report = {
         "command": "compile",
         "title": f"compile {name} [{args.compiler}]",
+        "target": target,
         "rows": [row],
         "passes": [vars(record) for record in result.pass_records],
         "cache": cache.stats.as_dict() if cache else None,
@@ -294,10 +348,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     case = _load_workload(args.workload, args.scale)
     names = [name.strip() for name in args.compilers.split(",") if name.strip()]
 
+    target = _target_argument(args)
     reference = reference_cnot_circuit(case.circuit)
     base = reference_metrics(reference)
     start = time.perf_counter()
-    registry = build_compilers(names, seed=args.seed, synthesis_cache=cache)
+    registry = build_compilers(names, seed=args.seed, synthesis_cache=cache, target=target)
     rows: List[Dict[str, Any]] = []
     for name in names:
         result = registry[name].compile(case.circuit)
@@ -315,6 +370,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     report = {
         "command": "bench",
         "title": f"bench {case.name} (reference #2Q = {base['num_2q']})",
+        "target": target,
         "reference": base,
         "rows": rows,
         "cache": cache.stats.as_dict() if cache else None,
@@ -343,8 +399,13 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     if not cases:
         raise SystemExit("the requested suite selection is empty")
 
+    target = _target_argument(args)
     engine = BatchCompiler(
-        compiler=args.compiler, workers=args.workers, seed=args.seed, cache=cache
+        compiler=args.compiler,
+        workers=args.workers,
+        seed=args.seed,
+        cache=cache,
+        target=target,
     )
     batch = engine.compile_all(cases)
 
@@ -364,6 +425,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         "command": "suite",
         "title": f"suite [{args.compiler}] scale={args.scale} workers={args.workers}",
         "compiler": args.compiler,
+        "target": target,
         "scale": args.scale,
         "workers": args.workers,
         "seed": args.seed,
@@ -377,14 +439,34 @@ def _cmd_suite(args: argparse.Namespace) -> int:
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.target.target import target_presets
     from repro.workloads.suite import suite_categories
 
-    payload = {"workloads": suite_categories(), "compilers": _compiler_names()}
+    payload = {
+        "workloads": suite_categories(),
+        "compilers": _compiler_names(),
+        "targets": sorted(target_presets()),
+    }
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
         print("workloads: " + ", ".join(payload["workloads"]))
         print("compilers: " + ", ".join(payload["compilers"]))
+        print("targets:   " + ", ".join(payload["targets"]))
+    return 0
+
+
+def _cmd_targets(args: argparse.Namespace) -> int:
+    from repro.target.target import target_presets
+
+    presets = target_presets()
+    if args.json:
+        print(json.dumps({"targets": presets}, indent=2))
+    else:
+        width = max(len(name) for name in presets)
+        print("target presets (use with --target; or pass a Target JSON file):")
+        for name, description in presets.items():
+            print(f"  {name.ljust(width)}  {description}")
     return 0
 
 
@@ -393,6 +475,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "suite": _cmd_suite,
     "list": _cmd_list,
+    "targets": _cmd_targets,
 }
 
 
@@ -400,6 +483,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _normalize_output_format(args)
     return _COMMANDS[args.command](args)
 
 

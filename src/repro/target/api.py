@@ -1,0 +1,131 @@
+"""The shared ``compile()`` entry point of the whole compiler stack.
+
+Every way of compiling a circuit — the deprecated compiler classes, the
+experiment harness registry, the batch service and the CLI — funnels through
+:func:`compile`, parameterized by a :class:`~repro.target.target.Target` and
+a :class:`~repro.target.pipeline.PipelineSpec`::
+
+    from repro.target import Target, compile
+
+    result = compile(circuit, target=Target.xy_line(8), spec="reqisc-full")
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.passes.base import PassManager
+from repro.compiler.result import CompilationResult
+from repro.target.pipeline import PASS_REGISTRY, PassContext, PipelineSpec, named_pipeline
+from repro.target.properties import PropertySet
+from repro.target.target import Target, resolve_target
+
+__all__ = ["compile", "PipelineCompiler"]
+
+
+def compile(
+    circuit: QuantumCircuit,
+    target: Union[None, str, Dict[str, Any], Target] = None,
+    spec: Union[str, PipelineSpec] = "reqisc-full",
+    *,
+    seed: int = 0,
+    synthesis_cache: Optional[Any] = None,
+    properties: Optional[Mapping[str, Any]] = None,
+) -> CompilationResult:
+    """Compile ``circuit`` for ``target`` with the pipeline ``spec``.
+
+    Parameters
+    ----------
+    target:
+        A :class:`Target`, a preset name (``"xy-line"``, ``"heavy-hex"``,
+        ...), a ``Target.to_dict()`` payload, a path to a JSON target file,
+        or ``None`` for the cached default XY logical device.  Size-less
+        presets are sized to the circuit.
+    spec:
+        A :class:`PipelineSpec` or a named pipeline (``"reqisc-full"``,
+        ``"reqisc-eff"``, ``"qiskit-like"``, ...).  Hardware-aware stages are
+        skipped when the target has no coupling map.
+    seed:
+        Base random seed forwarded to seed-sensitive passes (routing,
+        approximate synthesis) unless their stage config pins its own.
+    synthesis_cache:
+        Optional :class:`~repro.service.cache.SynthesisCache` shared by the
+        synthesis passes and installed as the process-global KAK cache for
+        the duration of the call.
+    properties:
+        Initial property values merged into the run's
+        :class:`~repro.target.properties.PropertySet`.
+    """
+    from repro.linalg.weyl import install_kak_cache
+
+    start = time.perf_counter()
+    resolved = resolve_target(target, num_qubits=circuit.num_qubits)
+    if isinstance(spec, str):
+        spec = named_pipeline(spec)
+
+    props = PropertySet.ensure(properties)
+    props["isa"] = spec.isa
+    props["target"] = resolved.name
+
+    context = PassContext(target=resolved, seed=seed, synthesis_cache=synthesis_cache)
+    manager = PassManager()
+    for stage in spec.stages:
+        if stage.requires_topology and resolved.coupling_map is None:
+            continue
+        manager.append(PASS_REGISTRY.create(stage, context))
+
+    previous_kak_cache = None
+    if synthesis_cache is not None:
+        previous_kak_cache = install_kak_cache(synthesis_cache)
+    try:
+        compiled, records = manager.run_with_records(circuit, props)
+    finally:
+        if synthesis_cache is not None:
+            install_kak_cache(previous_kak_cache)
+
+    return CompilationResult(
+        circuit=compiled,
+        compiler_name=spec.name,
+        compile_seconds=time.perf_counter() - start,
+        properties=props,
+        pass_records=records,
+        target=resolved,
+    )
+
+
+@dataclass
+class PipelineCompiler:
+    """A pipeline spec bound to a target — the new-API compiler handle.
+
+    Exposes the historical ``.name`` / ``.compile(circuit)`` interface, so
+    registries (``build_compilers``), the batch service and the experiment
+    harness can hold ready-to-run compilers without touching the deprecated
+    classes.  ``target`` may be a concrete :class:`Target`, a preset name
+    resolved per circuit, or ``None`` for the default device.
+    """
+
+    spec: PipelineSpec
+    target: Union[None, str, Dict[str, Any], Target] = None
+    seed: int = 0
+    synthesis_cache: Optional[Any] = None
+    properties: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        """Reporting name (the spec's name)."""
+        return self.spec.name
+
+    def compile(self, circuit: QuantumCircuit) -> CompilationResult:
+        """Compile ``circuit`` with the bound spec/target/seed/cache."""
+        return compile(
+            circuit,
+            target=self.target,
+            spec=self.spec,
+            seed=self.seed,
+            synthesis_cache=self.synthesis_cache,
+            properties=dict(self.properties) if self.properties else None,
+        )

@@ -1,0 +1,138 @@
+"""Typed property set threaded through the compiler pipeline.
+
+Passes used to communicate through a raw ``Dict[str, Any]``; the keys were
+undocumented and typos silently produced empty metadata.  :class:`PropertySet`
+is a drop-in mapping replacement with the well-known keys documented and
+exposed as typed attributes, plus the full mapping interface as an escape
+hatch for pass-specific extras.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Mapping, MutableMapping, Optional
+
+__all__ = ["PropertySet"]
+
+
+class PropertySet(MutableMapping):
+    """Mapping of pipeline metadata with typed accessors for the known keys.
+
+    Documented keys
+    ---------------
+    ``isa``
+        Output instruction set: ``"su4"`` (``{Can, U3}``) or ``"cnot"``.
+    ``target``
+        Name of the :class:`~repro.target.target.Target` compiled for.
+    ``initial_layout`` / ``final_layout``
+        ``layout[logical] = physical`` before/after routing (routing only).
+    ``mirror_permutation``
+        Qubit permutation accumulated by compile-time gate mirroring.
+    ``mirrored_gate_count``
+        Number of near-identity gates replaced by their mirrored form.
+    ``inserted_swaps`` / ``absorbed_swaps``
+        Routing SWAPs that cost a 2Q gate vs. SWAPs absorbed into SU(4)s.
+
+    Any other key is accepted and round-trips through :meth:`to_dict`.
+    """
+
+    KNOWN_KEYS = (
+        "isa",
+        "target",
+        "initial_layout",
+        "final_layout",
+        "mirror_permutation",
+        "mirrored_gate_count",
+        "inserted_swaps",
+        "absorbed_swaps",
+    )
+
+    __slots__ = ("_data",)
+
+    def __init__(self, initial: Optional[Mapping[str, Any]] = None, **extras: Any) -> None:
+        self._data: Dict[str, Any] = dict(initial or {})
+        self._data.update(extras)
+
+    # -- mapping protocol ----------------------------------------------------
+    def __getitem__(self, key: str) -> Any:
+        return self._data[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self._data[key] = value
+
+    def __delitem__(self, key: str) -> None:
+        del self._data[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        return f"PropertySet({self._data!r})"
+
+    # -- pickling (``__slots__`` has no instance ``__dict__``) ---------------
+    def __getstate__(self) -> Dict[str, Any]:
+        return {"_data": self._data}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self._data = state["_data"]
+
+    # -- typed accessors -----------------------------------------------------
+    @property
+    def isa(self) -> Optional[str]:
+        """Output ISA (``"su4"`` or ``"cnot"``)."""
+        return self._data.get("isa")
+
+    @isa.setter
+    def isa(self, value: str) -> None:
+        self._data["isa"] = value
+
+    @property
+    def target(self) -> Optional[str]:
+        """Name of the target device compiled for."""
+        return self._data.get("target")
+
+    @property
+    def initial_layout(self) -> Optional[List[int]]:
+        """Routing layout before the circuit ran (``layout[logical] = physical``)."""
+        return self._data.get("initial_layout")
+
+    @property
+    def final_layout(self) -> Optional[List[int]]:
+        """Routing layout after the circuit ran."""
+        return self._data.get("final_layout")
+
+    @property
+    def mirror_permutation(self) -> Optional[List[int]]:
+        """Qubit permutation accumulated by gate mirroring."""
+        return self._data.get("mirror_permutation")
+
+    @property
+    def mirrored_gate_count(self) -> Optional[int]:
+        """Number of near-identity gates replaced by their mirrored form."""
+        return self._data.get("mirrored_gate_count")
+
+    @property
+    def inserted_swaps(self) -> Optional[int]:
+        """Routing SWAPs that cost a real 2Q gate."""
+        return self._data.get("inserted_swaps")
+
+    @property
+    def absorbed_swaps(self) -> Optional[int]:
+        """Routing SWAPs absorbed into adjacent SU(4) gates for free."""
+        return self._data.get("absorbed_swaps")
+
+    # -- conversion ----------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict copy of every property (known and extra)."""
+        return dict(self._data)
+
+    @classmethod
+    def ensure(cls, value: Optional[Mapping[str, Any]]) -> "PropertySet":
+        """Fresh PropertySet seeded from ``value`` (``None`` yields empty).
+
+        Always copies — callers can safely reuse their input mapping across
+        compilations without one run's metadata leaking into the next.
+        """
+        return cls(value)

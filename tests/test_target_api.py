@@ -1,0 +1,427 @@
+"""Tests for the first-class Target + declarative pipeline API (repro.target)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.passes.base import PassManager
+from repro.compiler.passes.peephole import PeepholeOptimizationPass
+from repro.compiler.routing.coupling_map import CouplingMap
+from repro.microarch.hamiltonian import CouplingHamiltonian
+from repro.target import (
+    PASS_REGISTRY,
+    PassContext,
+    PipelineSpec,
+    PropertySet,
+    Target,
+    named_pipeline,
+    pipeline_names,
+    resolve_target,
+    target_presets,
+)
+from repro.target.api import compile as target_compile
+
+
+def _toffoli_workload():
+    circuit = QuantumCircuit(4, "tof_chain")
+    circuit.x(0)
+    circuit.h(3)
+    circuit.ccx(0, 1, 2)
+    circuit.cx(2, 3)
+    circuit.ccx(1, 2, 3)
+    circuit.t(3)
+    circuit.ccx(0, 1, 2)
+    return circuit
+
+
+def _circuits_identical(first, second):
+    if first.num_qubits != second.num_qubits or len(first) != len(second):
+        return False
+    for a, b in zip(first, second):
+        if a.qubits != b.qubits or a.gate.name != b.gate.name:
+            return False
+        if a.gate.params != b.gate.params:
+            return False
+        if not np.array_equal(a.gate.matrix, b.gate.matrix):
+            return False
+    return True
+
+
+def _summary_without_wall_clock(result):
+    summary = result.summary()
+    summary.pop("compile_seconds")
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# Target construction, presets and serialization.
+# ---------------------------------------------------------------------------
+
+
+def test_target_presets_and_derived_names():
+    line = Target.xy_line(5)
+    assert line.name == "xy-line-5"
+    assert line.num_qubits == 5
+    assert line.isa == "su4"
+    assert Target.all_to_all(3).name == "xy-all-to-all-3"
+    assert Target.default() is Target.default()
+    assert Target.default().num_qubits is None
+
+
+def test_target_heavy_hex_topology():
+    target = Target.heavy_hex(1, 1)
+    lattice = target.coupling_map
+    # One hexagonal cell: 6 vertices + 6 edge qubits, max degree 3.
+    assert lattice.num_qubits == 12
+    assert max(dict(lattice.graph.degree).values()) <= 3
+    assert all(lattice.distance(0, q) < np.inf for q in range(lattice.num_qubits))
+
+
+def test_target_rejects_unknown_isa():
+    with pytest.raises(ValueError):
+        Target(isa="clifford")
+
+
+def test_target_dict_round_trip():
+    for target in (
+        Target.xy_line(4),
+        Target.heavy_hex(1, 1),
+        Target.all_to_all(3, coupling=CouplingHamiltonian.heisenberg(0.9)),
+        Target(coupling=CouplingHamiltonian.xx(2.0), isa="cnot", one_qubit_duration=0.1),
+    ):
+        rebuilt = Target.from_dict(target.to_dict())
+        assert rebuilt.to_dict() == target.to_dict()
+        assert rebuilt.name == target.name
+        assert rebuilt.coupling.coefficients == target.coupling.coefficients
+        if target.coupling_map is None:
+            assert rebuilt.coupling_map is None
+        else:
+            assert rebuilt.coupling_map.edges == target.coupling_map.edges
+
+
+def test_target_json_round_trip_with_frame_change():
+    # A non-canonical-frame Hamiltonian keeps its frame through JSON.
+    matrix = np.kron(
+        np.array([[1, 1], [1, -1]]) / np.sqrt(2.0), np.eye(2)
+    ) @ (0.5 * np.kron([[0, 1], [1, 0]], [[0, 1], [1, 0]])) @ np.kron(
+        np.array([[1, 1], [1, -1]]) / np.sqrt(2.0), np.eye(2)
+    )
+    coupling = CouplingHamiltonian.from_matrix(matrix, label="framed")
+    target = Target(coupling=coupling)
+    rebuilt = Target.from_json(target.to_json())
+    assert np.allclose(rebuilt.coupling.matrix(), coupling.matrix(), atol=1e-12)
+
+
+def test_target_file_round_trip(tmp_path):
+    path = tmp_path / "device.json"
+    target = Target.xy_grid(2, 3)
+    path.write_text(target.to_json(), encoding="utf-8")
+    loaded = Target.from_file(str(path))
+    assert loaded.to_dict() == target.to_dict()
+    assert resolve_target(str(path)).to_dict() == target.to_dict()
+
+
+def test_resolve_target_presets():
+    assert resolve_target(None) is Target.default()
+    assert resolve_target("logical") is Target.default()
+    assert resolve_target("xy-line", num_qubits=6).name == "xy-line-6"
+    assert resolve_target("xy-line-8").name == "xy-line-8"
+    assert resolve_target("heavy-hex", num_qubits=5).num_qubits >= 5
+    assert resolve_target("all-to-all-4").coupling_map.name == "all-to-all"
+    assert set(target_presets()) >= {"logical", "xy-line", "heavy-hex", "all-to-all"}
+    with pytest.raises(ValueError):
+        resolve_target("xy-line")  # no size and no circuit to infer it from
+    with pytest.raises(ValueError):
+        resolve_target("warp-drive", num_qubits=4)
+    with pytest.raises(ValueError):
+        resolve_target("logical-16")  # 'logical' takes no size suffix
+
+
+def test_resolve_target_preset_wins_over_same_named_file(tmp_path, monkeypatch):
+    # A stray file named like a preset must not hijack preset resolution.
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "xy-line").write_text("not json", encoding="utf-8")
+    assert resolve_target("xy-line", num_qubits=4).name == "xy-line-4"
+
+
+def test_duration_model_memoized_per_target_and_coupling_cache():
+    target = Target.xy_line(4)
+    assert target.duration_model() is target.duration_model()
+    assert target.duration_model("cnot") is target.duration_model("cnot")
+    coupling = CouplingHamiltonian.xy(1.0)
+    assert Target.for_coupling(coupling) is Target.for_coupling(coupling)
+
+
+def test_target_pickles_without_models(tmp_path):
+    import pickle
+
+    target = Target.xy_line(4)
+    target.duration_model()  # populate the memo with an unpicklable closure
+    clone = pickle.loads(pickle.dumps(target))
+    assert clone.to_dict() == target.to_dict()
+    assert clone.duration_model() is clone.duration_model()
+
+
+# ---------------------------------------------------------------------------
+# PropertySet.
+# ---------------------------------------------------------------------------
+
+
+def test_property_set_mapping_and_typed_accessors():
+    props = PropertySet({"isa": "su4"}, custom_extra=7)
+    assert props.isa == "su4"
+    assert props["custom_extra"] == 7
+    props["inserted_swaps"] = 3
+    assert props.inserted_swaps == 3
+    assert props.final_layout is None
+    assert props.mirrored_gate_count is None
+    props["mirrored_gate_count"] = 2
+    assert props.mirrored_gate_count == 2
+    del props["mirrored_gate_count"]
+    props.isa = "cnot"
+    assert props["isa"] == "cnot"
+    assert set(props) == {"isa", "custom_extra", "inserted_swaps"}
+    del props["custom_extra"]
+    assert len(props) == 2
+    assert props.to_dict() == {"isa": "cnot", "inserted_swaps": 3}
+    copy = PropertySet.ensure(props)
+    assert copy is not props and copy.to_dict() == props.to_dict()
+    assert PropertySet.ensure(None).to_dict() == {}
+
+
+def test_compile_does_not_alias_caller_properties():
+    circuit = _toffoli_workload()
+    shared = PropertySet()
+    routed = target_compile(
+        circuit, target=Target.xy_line(4), spec="reqisc-eff", properties=shared
+    )
+    logical = target_compile(circuit, spec="reqisc-eff", properties=shared)
+    assert shared.to_dict() == {}  # caller's set untouched
+    assert routed.properties is not logical.properties
+    assert routed.routing_overhead is not None
+    assert logical.routing_overhead is None  # no leak from the routed run
+
+
+# ---------------------------------------------------------------------------
+# PassManager record isolation (bug fix).
+# ---------------------------------------------------------------------------
+
+
+def test_pass_manager_returns_fresh_records_per_run():
+    manager = PassManager([PeepholeOptimizationPass()])
+    circuit = QuantumCircuit(2).cx(0, 1).cx(0, 1)
+    _, first_records = manager.run_with_records(circuit)
+    manager.run(QuantumCircuit(2).h(0))
+    # The first run's records list must not have been mutated by the rerun.
+    assert len(first_records) == 1
+    assert first_records[0].two_qubit_before == 2
+    assert manager.records is not first_records
+    assert len(manager.records) == 1
+
+
+# ---------------------------------------------------------------------------
+# PipelineSpec / PassRegistry.
+# ---------------------------------------------------------------------------
+
+
+def test_named_pipelines_cover_every_compiler():
+    assert set(pipeline_names()) == {
+        "reqisc-full", "reqisc-eff", "reqisc-nc", "reqisc-sabre",
+        "qiskit-like", "tket-like", "qiskit-su4", "tket-su4", "bqskit-su4",
+    }
+    with pytest.raises(KeyError):
+        named_pipeline("nope")
+
+
+def test_register_pipeline_round_trip():
+    from repro.target import register_pipeline
+    from repro.target.pipeline import _NAMED_PIPELINES
+
+    builder = lambda **kw: named_pipeline("reqisc-eff")  # noqa: E731
+    register_pipeline("custom-flow-test", builder)
+    try:
+        assert "custom-flow-test" in pipeline_names()
+        assert named_pipeline("custom-flow-test").name == "reqisc-eff"
+        with pytest.raises(KeyError):
+            register_pipeline("custom-flow-test", builder)
+        register_pipeline("custom-flow-test", builder, overwrite=True)
+    finally:
+        del _NAMED_PIPELINES["custom-flow-test"]
+
+
+def test_preset_and_file_targets_are_cached(tmp_path):
+    # Suite runs resolve the target once per circuit; equal specs must share
+    # one Target instance (and therefore one memoized duration model).
+    assert resolve_target("xy-line-7") is resolve_target("xy-line-7")
+    path = tmp_path / "dev.json"
+    path.write_text(Target.xy_line(3).to_json(), encoding="utf-8")
+    assert resolve_target(str(path)) is resolve_target(str(path))
+
+
+def test_pipeline_spec_json_round_trip():
+    for name in ("reqisc-eff", "qiskit-like", "tket-su4"):
+        spec = named_pipeline(name)
+        rebuilt = PipelineSpec.from_json(spec.to_json())
+        assert rebuilt.to_dict() == spec.to_dict()
+        assert rebuilt.name == spec.name
+        assert rebuilt.isa == spec.isa
+        assert [stage.pass_id for stage in rebuilt.stages] == [
+            stage.pass_id for stage in spec.stages
+        ]
+
+
+def test_spec_from_dict_compiles_like_the_named_pipeline():
+    circuit = _toffoli_workload()
+    spec = named_pipeline("reqisc-eff")
+    rebuilt = PipelineSpec.from_dict(json.loads(spec.to_json()))
+    target = Target.xy_line(4)
+    direct = target_compile(circuit, target=target, spec=spec, seed=1)
+    via_json = target_compile(circuit, target=target, spec=rebuilt, seed=1)
+    assert _circuits_identical(direct.circuit, via_json.circuit)
+
+
+def test_build_compilers_rejects_target_and_coupling_map_together():
+    from repro.experiments.common import build_compilers
+
+    with pytest.raises(ValueError):
+        build_compilers(
+            ["reqisc-eff"], coupling_map=CouplingMap.line(4), target=Target.xy_line(4)
+        )
+
+
+def test_pass_registry_rejects_unknown_pass():
+    context = PassContext(target=Target.default())
+    with pytest.raises(KeyError):
+        PASS_REGISTRY.create("warp_pass", context)
+    assert "route" in PASS_REGISTRY
+    assert "template_synthesis" in PASS_REGISTRY.available()
+
+
+def test_topology_stages_skipped_on_logical_target():
+    circuit = _toffoli_workload()
+    result = target_compile(circuit, spec="reqisc-eff")
+    assert result.routing_overhead is None
+    assert "final_layout" not in result.properties
+    routed = target_compile(circuit, target=Target.xy_line(4), spec="reqisc-eff")
+    assert routed.routing_overhead is not None
+    assert routed.properties.final_layout is not None
+
+
+# ---------------------------------------------------------------------------
+# Deprecated shims compile bit-identically through the new entry point.
+# ---------------------------------------------------------------------------
+
+
+def test_reqisc_shim_matches_target_compile():
+    from repro.compiler.reqisc import ReQISCCompiler
+
+    circuit = _toffoli_workload()
+    target = Target.xy_line(4)
+    modern = target_compile(circuit, target=target, spec="reqisc-full", seed=0)
+    with pytest.warns(DeprecationWarning):
+        legacy = ReQISCCompiler(
+            mode="full", coupling_map=CouplingMap.line(4), seed=0
+        )
+    legacy_result = legacy.compile(circuit)
+    assert _circuits_identical(modern.circuit, legacy_result.circuit)
+    assert _summary_without_wall_clock(modern) == _summary_without_wall_clock(legacy_result)
+    assert modern.properties["final_layout"] == legacy_result.properties["final_layout"]
+
+
+def test_cnot_baseline_shim_matches_target_compile():
+    from repro.compiler.baselines import CnotBaselineCompiler
+
+    circuit = _toffoli_workload()
+    target = Target.from_device(coupling_map=CouplingMap.line(4), isa="cnot")
+    modern = target_compile(circuit, target=target, spec="qiskit-like", seed=0)
+    with pytest.warns(DeprecationWarning):
+        legacy = CnotBaselineCompiler(name="qiskit-like", coupling_map=CouplingMap.line(4))
+    legacy_result = legacy.compile(circuit)
+    assert _circuits_identical(modern.circuit, legacy_result.circuit)
+    assert _summary_without_wall_clock(modern) == _summary_without_wall_clock(legacy_result)
+
+
+def test_su4_fusion_shim_matches_target_compile():
+    from repro.compiler.baselines import Su4FusionBaselineCompiler
+
+    circuit = _toffoli_workload()
+    modern = target_compile(circuit, spec="qiskit-su4", seed=0)
+    with pytest.warns(DeprecationWarning):
+        legacy = Su4FusionBaselineCompiler(variant="qiskit-su4")
+    legacy_result = legacy.compile(circuit)
+    assert _circuits_identical(modern.circuit, legacy_result.circuit)
+    assert _summary_without_wall_clock(modern) == _summary_without_wall_clock(legacy_result)
+
+
+def test_reqisc_shim_prices_durations_with_its_own_coupling():
+    # Deliberate v1.2 metric fix: the old implementation stored ``coupling=``
+    # but silently priced summaries with the default XY model.
+    from repro.compiler.reqisc import ReQISCCompiler
+
+    circuit = _toffoli_workload()
+    coupling = CouplingHamiltonian.heisenberg(1.0)
+    with pytest.warns(DeprecationWarning):
+        legacy = ReQISCCompiler(mode="eff", coupling=coupling)
+    legacy_result = legacy.compile(circuit)
+    modern = target_compile(circuit, target=Target(coupling=coupling), spec="reqisc-eff")
+    assert _summary_without_wall_clock(legacy_result) == _summary_without_wall_clock(modern)
+    xy_result = target_compile(circuit, spec="reqisc-eff")
+    assert legacy_result.summary()["duration"] != pytest.approx(
+        xy_result.summary()["duration"]
+    )
+
+
+def test_summary_reports_target_name():
+    circuit = _toffoli_workload()
+    result = target_compile(circuit, target="heavy-hex", spec="reqisc-eff")
+    assert result.summary()["target"].startswith("xy-heavy-hex-")
+    assert result.properties["target"] == result.summary()["target"]
+
+
+def test_legacy_duration_signature_still_accepts_coupling():
+    circuit = _toffoli_workload()
+    result = target_compile(circuit, spec="reqisc-eff")
+    coupling = CouplingHamiltonian.xy(1.0)
+    assert result.duration(coupling) == pytest.approx(result.duration())
+    heisenberg = CouplingHamiltonian.heisenberg(1.0)
+    assert result.duration(heisenberg) != pytest.approx(result.duration())
+
+
+# ---------------------------------------------------------------------------
+# CLI integration for targets.
+# ---------------------------------------------------------------------------
+
+
+def test_cli_targets_subcommand(capsys):
+    from repro.service.cli import main
+
+    assert main(["targets", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "xy-line" in payload["targets"]
+
+
+def test_cli_suite_with_target_preset(tmp_path, capsys):
+    from repro.service.cli import main
+
+    code = main([
+        "suite", "--compiler", "reqisc-eff", "--workload", "qft",
+        "--scale", "tiny", "--target", "xy-line", "--format", "json",
+        "--cache-dir", str(tmp_path / "cache"),
+    ])
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["target"] == "xy-line"
+    assert report["rows"][0]["target"] == "xy-line-4"
+    assert report["rows"][0]["routing_overhead"] is not None
+
+
+def test_cli_rejects_unknown_target(capsys):
+    from repro.service.cli import main
+
+    with pytest.raises(SystemExit):
+        main([
+            "suite", "--compiler", "reqisc-eff", "--workload", "qft",
+            "--scale", "tiny", "--target", "warp-drive", "--no-cache",
+        ])

@@ -56,6 +56,9 @@ _LAZY_EXPORTS = {
     "SynthesisCache": "repro.service.cache:SynthesisCache",
     "unitary_fingerprint": "repro.service.cache:unitary_fingerprint",
     "benchmark_suite": "repro.workloads.suite:benchmark_suite",
+    "DependencyGraph": "repro.circuits.depgraph:DependencyGraph",
+    "run_perf": "repro.perf.harness:run_perf",
+    "write_perf_report": "repro.perf.harness:write_report",
 }
 
 __all__ = sorted(_LAZY_EXPORTS) + ["__version__"]

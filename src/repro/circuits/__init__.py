@@ -3,6 +3,7 @@
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.instruction import Instruction
 from repro.circuits.dag import circuit_to_dag, dag_to_circuit, layers
+from repro.circuits.depgraph import DependencyGraph
 from repro.circuits.metrics import (
     circuit_duration,
     count_distinct_two_qubit_gates,
@@ -13,6 +14,7 @@ from repro.circuits.metrics import (
 __all__ = [
     "QuantumCircuit",
     "Instruction",
+    "DependencyGraph",
     "circuit_to_dag",
     "dag_to_circuit",
     "layers",

@@ -1,40 +1,38 @@
-"""Directed-acyclic-graph view of a circuit.
+"""Directed-acyclic-graph view of a circuit (networkx compatibility layer).
 
 Nodes are instruction indices; a directed edge ``i -> j`` exists when
 instruction ``j`` is the next instruction after ``i`` on at least one shared
-qubit.  The DAG is the representation used by the partitioning, DAG-compacting
-and routing passes.
+qubit.
+
+The compile hot path no longer consumes ``networkx`` graphs — routing and
+layering build a :class:`repro.circuits.depgraph.DependencyGraph` (flat CSR
+arrays) instead.  :func:`circuit_to_dag` remains as the compatibility
+converter for analysis and test code that wants the rich networkx API; it is
+now a thin wrapper over the array representation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 import networkx as nx
 
 from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.depgraph import DependencyGraph
 from repro.circuits.instruction import Instruction
 
 __all__ = ["circuit_to_dag", "dag_to_circuit", "layers", "front_layer"]
 
 
 def circuit_to_dag(circuit: QuantumCircuit) -> nx.DiGraph:
-    """Build the dependency DAG of ``circuit``.
+    """Build the dependency DAG of ``circuit`` as a ``networkx.DiGraph``.
 
     Each node carries the corresponding :class:`Instruction` under the
-    ``"instruction"`` attribute.
+    ``"instruction"`` attribute.  Prefer
+    :meth:`repro.circuits.depgraph.DependencyGraph.from_circuit` on hot
+    paths; this converter exists for networkx-based analysis code.
     """
-    dag = nx.DiGraph()
-    dag.graph["num_qubits"] = circuit.num_qubits
-    last_on_qubit: Dict[int, int] = {}
-    for index, instruction in enumerate(circuit):
-        dag.add_node(index, instruction=instruction)
-        for qubit in instruction.qubits:
-            previous = last_on_qubit.get(qubit)
-            if previous is not None:
-                dag.add_edge(previous, index)
-            last_on_qubit[qubit] = index
-    return dag
+    return DependencyGraph.from_circuit(circuit).to_networkx()
 
 
 def dag_to_circuit(dag: nx.DiGraph, num_qubits: int = None, name: str = "circuit") -> QuantumCircuit:
@@ -56,14 +54,15 @@ def front_layer(dag: nx.DiGraph) -> List[int]:
 
 
 def layers(circuit: QuantumCircuit) -> List[List[Instruction]]:
-    """Partition a circuit into greedy layers of mutually disjoint gates."""
-    result: List[List[Instruction]] = []
-    frontier: Dict[int, int] = {q: 0 for q in range(circuit.num_qubits)}
-    for instruction in circuit:
-        level = max(frontier[q] for q in instruction.qubits)
-        if level == len(result):
-            result.append([])
-        result[level].append(instruction)
-        for qubit in instruction.qubits:
-            frontier[qubit] = level + 1
-    return result
+    """Partition a circuit into greedy layers of mutually disjoint gates.
+
+    Computed from the array-based dependency graph: a gate's layer is its
+    dependency depth (ASAP schedule), which coincides with the greedy
+    qubit-frontier layering because a gate's predecessors are exactly the
+    previous gates on its qubits.
+    """
+    graph = DependencyGraph.from_circuit(circuit)
+    return [
+        [graph.instructions[node] for node in layer]
+        for layer in graph.topological_layers()
+    ]

@@ -31,6 +31,19 @@ class Instruction:
         if len(set(self.qubits)) != len(self.qubits):
             raise ValueError(f"duplicate qubits in instruction: {self.qubits}")
 
+    @classmethod
+    def unchecked(cls, gate: Gate, qubits: Tuple[int, ...]) -> "Instruction":
+        """Build an instruction without re-validating ``qubits``.
+
+        Hot-path constructor for callers that already hold a tuple of
+        distinct Python ints matching the gate arity (e.g. the router, which
+        derives qubits from a validated layout).  Skips ``__post_init__``.
+        """
+        instruction = object.__new__(cls)
+        object.__setattr__(instruction, "gate", gate)
+        object.__setattr__(instruction, "qubits", qubits)
+        return instruction
+
     @property
     def num_qubits(self) -> int:
         """Arity of the underlying gate."""

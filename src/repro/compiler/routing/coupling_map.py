@@ -27,7 +27,16 @@ class CouplingMap:
         self.graph.add_nodes_from(range(self.num_qubits))
         self.graph.add_edges_from(edges)
         self.name = name
+        # Lazily built, shared per map instance: every consumer (routing,
+        # Target duration models, perf harness) sees the same arrays instead
+        # of re-deriving them per call.
         self._distance: np.ndarray = None
+        self._adjacency: np.ndarray = None
+        self._neighbor_lists: List[List[int]] = None
+        self._neighbor_sets: List[frozenset] = None
+        self._edge_tuples: List[Tuple[int, int]] = None
+        self._edge_array: np.ndarray = None
+        self._incident_edge_ids: List[List[int]] = None
 
     # -- constructors --------------------------------------------------------
     @classmethod
@@ -120,23 +129,106 @@ class CouplingMap:
         """True when the two physical qubits are adjacent."""
         return self.graph.has_edge(qubit_a, qubit_b)
 
+    def adjacency_matrix(self) -> np.ndarray:
+        """Boolean adjacency matrix (cached, read-only)."""
+        if self._adjacency is None:
+            matrix = np.zeros((self.num_qubits, self.num_qubits), dtype=bool)
+            for a, b in self.graph.edges:
+                matrix[a, b] = True
+                matrix[b, a] = True
+            matrix.setflags(write=False)
+            self._adjacency = matrix
+        return self._adjacency
+
+    def neighbor_lists(self) -> List[List[int]]:
+        """Sorted neighbour list per physical qubit (cached).
+
+        ``neighbor_lists()[q]`` equals ``neighbors(q)``; the precomputed form
+        avoids a networkx adjacency walk + sort per hot-path query.
+        """
+        if self._neighbor_lists is None:
+            lists: List[List[int]] = [[] for _ in range(self.num_qubits)]
+            for a, b in self.graph.edges:
+                lists[a].append(b)
+                lists[b].append(a)
+            for entries in lists:
+                entries.sort()
+            self._neighbor_lists = lists
+        return self._neighbor_lists
+
+    def edge_tuples(self) -> List[Tuple[int, int]]:
+        """Sorted list of undirected edges as ``(low, high)`` tuples (cached).
+
+        The position of an edge in this list is its *edge id*; ids are
+        assigned in lexicographic edge order, so a sorted list of ids maps
+        back to a lexicographically sorted list of edges.
+        """
+        if self._edge_tuples is None:
+            self._edge_tuples = sorted(tuple(sorted(edge)) for edge in self.graph.edges)
+        return self._edge_tuples
+
+    def edge_array(self) -> np.ndarray:
+        """``(num_edges, 2)`` integer array of :meth:`edge_tuples` (cached)."""
+        if self._edge_array is None:
+            edges = self.edge_tuples()
+            array = np.asarray(edges, dtype=np.int64) if edges else np.empty((0, 2), dtype=np.int64)
+            array.setflags(write=False)
+            self._edge_array = array
+        return self._edge_array
+
+    def incident_edge_ids(self) -> List[List[int]]:
+        """Edge ids incident to each physical qubit (cached, ids ascending)."""
+        if self._incident_edge_ids is None:
+            incident: List[List[int]] = [[] for _ in range(self.num_qubits)]
+            for edge_id, (a, b) in enumerate(self.edge_tuples()):
+                incident[a].append(edge_id)
+                incident[b].append(edge_id)
+            self._incident_edge_ids = incident
+        return self._incident_edge_ids
+
+    def neighbor_sets(self) -> List[frozenset]:
+        """Neighbour set per physical qubit (cached; O(1) adjacency tests)."""
+        if self._neighbor_sets is None:
+            self._neighbor_sets = [frozenset(entries) for entries in self.neighbor_lists()]
+        return self._neighbor_sets
+
     def neighbors(self, qubit: int) -> List[int]:
-        """Neighbouring physical qubits."""
-        return sorted(self.graph.neighbors(qubit))
+        """Neighbouring physical qubits (sorted; fresh list per call)."""
+        return list(self.neighbor_lists()[qubit])
 
     def distance_matrix(self) -> np.ndarray:
-        """All-pairs shortest-path distance matrix (cached)."""
+        """All-pairs shortest-path hop-count matrix (cached, read-only).
+
+        Computed by a vectorized breadth-first search over the adjacency
+        matrix (one frontier expansion per distance level, all sources at
+        once) and stored as a compact ``int32`` array — hop counts are small
+        integers, so downstream heuristic sums stay exact.  Unreachable
+        pairs are stored as ``-1``; :meth:`distance` reports them as ``inf``.
+        """
         if self._distance is None:
-            matrix = np.full((self.num_qubits, self.num_qubits), np.inf)
-            for source, lengths in nx.all_pairs_shortest_path_length(self.graph):
-                for target, dist in lengths.items():
-                    matrix[source, target] = dist
+            n = self.num_qubits
+            # int64 accumulation: a uint8 matmul would overflow (and report
+            # false unreachability) as soon as a frontier row has a multiple
+            # of 256 neighbours at the same level.
+            adjacency = self.adjacency_matrix().astype(np.int64)
+            matrix = np.full((n, n), -1, dtype=np.int32)
+            np.fill_diagonal(matrix, 0)
+            visited = np.eye(n, dtype=bool)
+            frontier = np.eye(n, dtype=bool)
+            level = 0
+            while frontier.any():
+                level += 1
+                frontier = ((frontier.astype(np.int64) @ adjacency) > 0) & ~visited
+                matrix[frontier] = level
+                visited |= frontier
+            matrix.setflags(write=False)
             self._distance = matrix
         return self._distance
 
     def distance(self, qubit_a: int, qubit_b: int) -> float:
-        """Shortest-path distance between two physical qubits."""
-        return float(self.distance_matrix()[qubit_a, qubit_b])
+        """Shortest-path distance between two physical qubits (inf if unreachable)."""
+        hops = int(self.distance_matrix()[qubit_a, qubit_b])
+        return float(hops) if hops >= 0 else math.inf
 
     def __repr__(self) -> str:
         return f"CouplingMap({self.name}, qubits={self.num_qubits}, edges={len(self.edges)})"

@@ -10,17 +10,36 @@ SWAP candidates that can be absorbed into the most recently emitted SU(4)
 gate on the same physical pair (``SU(4) . SWAP`` is still a single SU(4)) are
 preferred whenever they also lower the heuristic cost, eliminating the 2Q
 overhead of those SWAPs entirely.
+
+This is the array-native fast path co-designed with the access pattern of
+the algorithm:
+
+* the dependency DAG is a CSR :class:`~repro.circuits.depgraph.DependencyGraph`
+  consumed as flat arrays (plus plain-list mirrors for the scalar loop);
+* the executable front is rebuilt per pass (no ``list.remove`` rescans) and
+  adjacency checks hit precomputed neighbour sets;
+* the SWAP heuristic is evaluated for *all* candidates at once: one layout
+  gather over the concatenated front+lookahead qubit array, one broadcast
+  trial-position computation and vectorized integer distance sums;
+* the lookahead (extended) set is only recomputed after a gate executes —
+  consecutive stalls reuse it.
+
+Because all distances are small integers the vectorized sums are exact, and
+the routed output is **bit-identical** to the frozen pre-optimization
+baseline in :mod:`repro.compiler.routing.sabre_reference` (enforced by the
+regression tests and re-checked by ``repro perf``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.dag import circuit_to_dag
+from repro.circuits.depgraph import DependencyGraph
 from repro.circuits.instruction import Instruction
 from repro.compiler.routing.coupling_map import CouplingMap
 from repro.gates import standard
@@ -85,18 +104,58 @@ class SabreRouter:
         if circuit.num_qubits > num_physical:
             raise ValueError("circuit does not fit on the coupling map")
         if initial_layout is None:
-            layout = list(range(circuit.num_qubits))
+            layout_list = list(range(circuit.num_qubits))
         else:
-            layout = list(initial_layout)
-        distance = self.coupling_map.distance_matrix()
-        rng = np.random.default_rng(self.seed)
+            layout_list = [int(q) for q in initial_layout]
+            for physical in layout_list:
+                if not 0 <= physical < num_physical:
+                    raise ValueError(
+                        f"qubit {physical} out of range for a {num_physical}-qubit circuit"
+                    )
+        # ``layout`` (numpy) feeds the vectorized heuristic; ``layout_list``
+        # (plain ints) feeds the scalar execute loop.  Both are updated on
+        # every SWAP.
+        layout = np.asarray(layout_list, dtype=np.int64)
+        phys_to_logical = [-1] * num_physical
+        for logical, physical in enumerate(layout_list):
+            phys_to_logical[physical] = logical
 
-        dag = circuit_to_dag(circuit)
-        indegree = {node: dag.in_degree(node) for node in dag.nodes}
-        front: List[int] = [node for node, degree in indegree.items() if degree == 0]
+        distance = self.coupling_map.distance_matrix()
+        neighbor_sets = self.coupling_map.neighbor_sets()
+        edge_tuples = self.coupling_map.edge_tuples()
+        edge_array = self.coupling_map.edge_array()
+        incident_edge_ids = self.coupling_map.incident_edge_ids()
+
+        graph = DependencyGraph.from_circuit(circuit)
+        instructions = graph.instructions
+        succ_ptr = graph.succ_indptr.tolist()
+        succ = graph.succ_indices.tolist()
+        indegree = graph.indegree_vector().tolist()
+        front: List[int] = graph.front_layer()
+
+        # Per-node qubit arrays/lists for the heuristic and execute loops.
+        arity1: List[bool] = []
+        q0_list: List[int] = []
+        q1_list: List[int] = []
+        for instruction in instructions:
+            qubits = instruction.qubits
+            q0_list.append(qubits[0])
+            if len(qubits) == 2:
+                q1_list.append(qubits[1])
+                arity1.append(False)
+            else:
+                q1_list.append(qubits[0])
+                arity1.append(True)
+        node_q0 = np.asarray(q0_list, dtype=np.int64) if q0_list else np.empty(0, dtype=np.int64)
+        node_q1 = np.asarray(q1_list, dtype=np.int64) if q1_list else np.empty(0, dtype=np.int64)
 
         output = QuantumCircuit(num_physical, circuit.name)
+        out_list = output.instructions
         decay = np.ones(num_physical)
+        lookahead_weight = self.lookahead_weight
+        decay_increment = self.decay_increment
+        decay_reset_interval = self.decay_reset_interval
+        mirroring = self.mirroring
         inserted_swaps = 0
         absorbed_swaps = 0
         swaps_since_reset = 0
@@ -105,19 +164,16 @@ class SabreRouter:
         last_gate_on_pair: Dict[Tuple[int, int], int] = {}
         last_touch: Dict[int, int] = {}
 
-        def emit(instruction: Instruction, physical_qubits: Tuple[int, ...]) -> None:
-            output.append(instruction.gate, physical_qubits)
-            position = len(output) - 1
-            if len(physical_qubits) == 2:
-                last_gate_on_pair[tuple(sorted(physical_qubits))] = position
-            for qubit in physical_qubits:
-                last_touch[qubit] = position
-
-        def release(node: int) -> None:
-            for successor in dag.successors(node):
-                indegree[successor] -= 1
-                if indegree[successor] == 0:
-                    front.append(successor)
+        # Stall-time arrays, reused across consecutive SWAP decisions while
+        # no gate executes in between (the front — and therefore the
+        # lookahead set — only changes when a gate is emitted).  The front
+        # and lookahead qubit pairs are concatenated into one flat logical
+        # array ``(q0_0..q0_{P-1}, q1_0..q1_{P-1})`` so each stall needs a
+        # single layout gather and a single trial-position computation.
+        pair_qubits: Optional[np.ndarray] = None  # (2P,) logical qubits
+        num_front = 0  # F: leading pairs from the front layer
+        num_ext = 0  # E: trailing pairs from the lookahead set
+        front_dirty = True
 
         max_steps = 50 * (len(circuit) + 10) * max(1, num_physical)
         steps = 0
@@ -125,160 +181,196 @@ class SabreRouter:
             steps += 1
             if steps > max_steps:
                 raise RuntimeError("SABRE routing failed to converge (step limit exceeded)")
-            # Execute everything currently executable.
-            progressed = True
-            while progressed and front:
+            # Execute everything currently executable.  Each pass rebuilds
+            # the front (survivors keep their order, newly released nodes
+            # append), replacing the historical O(front) list.remove scans.
+            while True:
                 progressed = False
-                for node in list(front):
-                    instruction: Instruction = dag.nodes[node]["instruction"]
-                    physical = tuple(layout[q] for q in instruction.qubits)
-                    if instruction.num_qubits == 1 or self.coupling_map.is_connected(*physical):
-                        emit(instruction, physical)
-                        front.remove(node)
-                        release(node)
-                        progressed = True
+                survivors: List[int] = []
+                released: List[int] = []
+                for node in front:
+                    p0 = layout_list[q0_list[node]]
+                    if arity1[node]:
+                        physical: Tuple[int, ...] = (p0,)
+                    else:
+                        p1 = layout_list[q1_list[node]]
+                        if p1 not in neighbor_sets[p0]:
+                            survivors.append(node)
+                            continue
+                        physical = (p0, p1)
+                        pair = (p0, p1) if p0 < p1 else (p1, p0)
+                    out_list.append(Instruction.unchecked(instructions[node].gate, physical))
+                    position = len(out_list) - 1
+                    if len(physical) == 2:
+                        last_gate_on_pair[pair] = position
+                        last_touch[p1] = position
+                    last_touch[p0] = position
+                    for index in range(succ_ptr[node], succ_ptr[node + 1]):
+                        successor = succ[index]
+                        remaining = indegree[successor] - 1
+                        indegree[successor] = remaining
+                        if remaining == 0:
+                            released.append(successor)
+                    progressed = True
+                    front_dirty = True
+                front = survivors + released
+                if not progressed or not front:
+                    break
             if not front:
                 break
 
             # No executable gate: choose a SWAP.
-            front_2q = [
-                dag.nodes[node]["instruction"]
-                for node in front
-                if dag.nodes[node]["instruction"].num_qubits == 2
-            ]
-            extended = self._extended_set(dag, front, indegree)
-            candidates = self._swap_candidates(front_2q, layout)
-            if not candidates:
-                raise RuntimeError("no SWAP candidates found; is the coupling map connected?")
+            if front_dirty:
+                # At a stall every front node is a blocked 2Q gate (1Q gates
+                # always execute), so the front *is* the 2Q front.
+                ext_nodes = self._extended_nodes(front, succ_ptr, succ, arity1, len(instructions))
+                num_front = len(front)
+                num_ext = len(ext_nodes)
+                nodes = front + ext_nodes
+                pair_qubits = np.concatenate((node_q0[nodes], node_q1[nodes]))
+                front_dirty = False
 
-            base_cost = self._heuristic_cost(front_2q, extended, layout, distance)
-            scored: List[Tuple[float, Tuple[int, int]]] = []
-            for edge in candidates:
-                trial_layout = self._apply_swap(layout, edge)
-                cost = self._heuristic_cost(front_2q, extended, trial_layout, distance)
-                cost *= max(decay[edge[0]], decay[edge[1]])
-                scored.append((cost, edge))
-            scored.sort(key=lambda item: (item[0], item[1]))
+            num_pairs = num_front + num_ext
+            physical_pairs = layout[pair_qubits]  # (2P,): q0 block then q1 block
+            # Candidate SWAPs = coupling edges incident to a front physical
+            # qubit, as sorted edge *ids* (edge ids are assigned in
+            # lexicographic edge order, so sorted ids == the reference's
+            # lexicographically sorted edge list).
+            candidate_ids: Set[int] = set()
+            for physical in physical_pairs[: num_front].tolist():
+                candidate_ids.update(incident_edge_ids[physical])
+            for physical in physical_pairs[num_pairs : num_pairs + num_front].tolist():
+                candidate_ids.update(incident_edge_ids[physical])
+            if not candidate_ids:
+                raise RuntimeError("no SWAP candidates found; is the coupling map connected?")
+            ids = sorted(candidate_ids)
+            cand = edge_array[ids]
+            cand_a = cand[:, :1]
+            cand_b = cand[:, 1:]
+
+            # Vectorized heuristic: every sum is over small integer
+            # distances, so numpy reductions are exact and match the
+            # reference implementation's Python sums bit for bit.
+            trial = np.where(
+                physical_pairs == cand_a,
+                cand_b,
+                np.where(physical_pairs == cand_b, cand_a, physical_pairs),
+            )  # (C, 2P) physical positions after each candidate SWAP
+            trial_distance = distance[trial[:, :num_pairs], trial[:, num_pairs:]]
+            base_distance = distance[physical_pairs[:num_pairs], physical_pairs[num_pairs:]]
+            base_cost = base_distance[:num_front].sum() / num_front
+            costs = trial_distance[:, :num_front].sum(axis=1) / num_front
+            if num_ext:
+                base_cost = base_cost + lookahead_weight * (
+                    base_distance[num_front:].sum() / num_ext
+                )
+                costs = costs + lookahead_weight * (
+                    trial_distance[:, num_front:].sum(axis=1) / num_ext
+                )
+            costs = costs * decay[cand].max(axis=1)
 
             chosen: Optional[Tuple[int, int]] = None
             absorb = False
-            if self.mirroring:
+            if mirroring:
                 # Prefer candidates absorbable by the last mapped layer that
-                # also improve on the pre-SWAP heuristic cost.
-                absorbable = [
-                    (cost, edge)
-                    for cost, edge in scored
-                    if cost < base_cost and self._is_absorbable(edge, last_gate_on_pair, last_touch)
-                ]
-                if absorbable:
-                    chosen = absorbable[0][1]
-                    absorb = True
-            if chosen is None:
-                chosen = scored[0][1]
+                # also improve on the pre-SWAP heuristic cost.  Candidates
+                # are visited in (cost, edge) order — the stable argsort over
+                # the lexicographically sorted candidate list reproduces the
+                # reference tie-breaking exactly.
+                order = np.argsort(costs, kind="stable").tolist()
+                cost_list = costs.tolist()
+                pair_get = last_gate_on_pair.get
+                touch_get = last_touch.get
+                for index in order:
+                    if not cost_list[index] < base_cost:
+                        break
+                    edge = edge_tuples[ids[index]]
+                    position = pair_get(edge)
+                    if (
+                        position is not None
+                        and touch_get(edge[0], -1) <= position
+                        and touch_get(edge[1], -1) <= position
+                    ):
+                        chosen = edge
+                        absorb = True
+                        break
+                if chosen is None:
+                    chosen = edge_tuples[ids[order[0]]]
+            else:
+                chosen = edge_tuples[ids[int(np.argmin(costs))]]
 
             if absorb:
-                position = last_gate_on_pair[tuple(sorted(chosen))]
-                previous = output.instructions[position]
-                merged_matrix = self._swap_on_pair(previous.qubits) @ previous.gate.matrix
-                output.instructions[position] = Instruction(
+                position = last_gate_on_pair[chosen]
+                previous = out_list[position]
+                merged_matrix = _SWAP_MATRIX @ previous.gate.matrix
+                out_list[position] = Instruction(
                     UnitaryGate(merged_matrix, label="su4"), previous.qubits
                 )
                 absorbed_swaps += 1
             else:
-                emit(Instruction(standard.swap_gate(), (0, 1)), tuple(chosen))
+                out_list.append(Instruction.unchecked(standard.swap_gate(), chosen))
+                position = len(out_list) - 1
+                last_gate_on_pair[chosen] = position
+                last_touch[chosen[0]] = position
+                last_touch[chosen[1]] = position
                 inserted_swaps += 1
-            layout = self._apply_swap(layout, chosen)
-            decay[chosen[0]] += self.decay_increment
-            decay[chosen[1]] += self.decay_increment
+            swapped_a, swapped_b = chosen
+            logical_a = phys_to_logical[swapped_a]
+            logical_b = phys_to_logical[swapped_b]
+            if logical_a >= 0:
+                layout_list[logical_a] = swapped_b
+                layout[logical_a] = swapped_b
+            if logical_b >= 0:
+                layout_list[logical_b] = swapped_a
+                layout[logical_b] = swapped_a
+            phys_to_logical[swapped_a] = logical_b
+            phys_to_logical[swapped_b] = logical_a
+            decay[swapped_a] += decay_increment
+            decay[swapped_b] += decay_increment
             swaps_since_reset += 1
-            if swaps_since_reset >= self.decay_reset_interval:
+            if swaps_since_reset >= decay_reset_interval:
                 decay[:] = 1.0
                 swaps_since_reset = 0
 
         return RoutingResult(
             circuit=output,
-            initial_layout=list(initial_layout) if initial_layout is not None else list(range(circuit.num_qubits)),
-            final_layout=layout,
+            initial_layout=(
+                list(initial_layout) if initial_layout is not None else list(range(circuit.num_qubits))
+            ),
+            final_layout=layout_list,
             inserted_swaps=inserted_swaps,
             absorbed_swaps=absorbed_swaps,
         )
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _swap_on_pair(physical_qubits: Tuple[int, ...]) -> np.ndarray:
-        """SWAP matrix expressed on the (ordered) qubits of an instruction."""
-        # SWAP is symmetric under qubit exchange, so the ordering is irrelevant.
-        return _SWAP_MATRIX
+    def _extended_nodes(
+        self,
+        front: Sequence[int],
+        succ_ptr: Sequence[int],
+        succ: Sequence[int],
+        arity1: Sequence[bool],
+        num_nodes: int,
+    ) -> List[int]:
+        """Two-qubit nodes of the lookahead (extended) set.
 
-    @staticmethod
-    def _apply_swap(layout: Sequence[int], edge: Tuple[int, int]) -> List[int]:
-        new_layout = list(layout)
-        for logical, physical in enumerate(new_layout):
-            if physical == edge[0]:
-                new_layout[logical] = edge[1]
-            elif physical == edge[1]:
-                new_layout[logical] = edge[0]
-        return new_layout
-
-    def _swap_candidates(
-        self, front_2q: Sequence[Instruction], layout: Sequence[int]
-    ) -> List[Tuple[int, int]]:
-        involved: Set[int] = set()
-        for instruction in front_2q:
-            for qubit in instruction.qubits:
-                involved.add(layout[qubit])
-        candidates: Set[Tuple[int, int]] = set()
-        for physical in involved:
-            for neighbor in self.coupling_map.neighbors(physical):
-                candidates.add(tuple(sorted((physical, neighbor))))
-        return sorted(candidates)
-
-    def _extended_set(
-        self, dag, front: Sequence[int], indegree: Dict[int, int]
-    ) -> List[Instruction]:
-        extended: List[Instruction] = []
-        frontier = list(front)
-        visited: Set[int] = set(front)
-        while frontier and len(extended) < self.lookahead_size:
-            node = frontier.pop(0)
-            for successor in dag.successors(node):
-                if successor in visited:
+        Breadth-first over successors from the front, in front order,
+        truncated at ``lookahead_size`` two-qubit gates — the same traversal
+        (and therefore the same set, in the same order) as the reference.
+        """
+        lookahead_size = self.lookahead_size
+        extended: List[int] = []
+        frontier = deque(front)
+        visited = bytearray(num_nodes)
+        for node in front:
+            visited[node] = 1
+        while frontier and len(extended) < lookahead_size:
+            node = frontier.popleft()
+            for index in range(succ_ptr[node], succ_ptr[node + 1]):
+                successor = succ[index]
+                if visited[successor]:
                     continue
-                visited.add(successor)
-                instruction = dag.nodes[successor]["instruction"]
-                if instruction.num_qubits == 2:
-                    extended.append(instruction)
+                visited[successor] = 1
+                if not arity1[successor]:
+                    extended.append(successor)
                 frontier.append(successor)
         return extended
-
-    def _heuristic_cost(
-        self,
-        front_2q: Sequence[Instruction],
-        extended: Sequence[Instruction],
-        layout: Sequence[int],
-        distance: np.ndarray,
-    ) -> float:
-        if not front_2q:
-            return 0.0
-        front_cost = sum(
-            distance[layout[instr.qubits[0]], layout[instr.qubits[1]]] for instr in front_2q
-        ) / len(front_2q)
-        if extended:
-            lookahead = sum(
-                distance[layout[instr.qubits[0]], layout[instr.qubits[1]]] for instr in extended
-            ) / len(extended)
-        else:
-            lookahead = 0.0
-        return front_cost + self.lookahead_weight * lookahead
-
-    def _is_absorbable(
-        self,
-        edge: Tuple[int, int],
-        last_gate_on_pair: Dict[Tuple[int, int], int],
-        last_touch: Dict[int, int],
-    ) -> bool:
-        pair = tuple(sorted(edge))
-        position = last_gate_on_pair.get(pair)
-        if position is None:
-            return False
-        return all(last_touch.get(q, -1) <= position for q in pair)

@@ -5,6 +5,23 @@ the number of qubits it acts on, an optional tuple of real parameters and a
 unitary matrix.  Named gates obtain their matrix from the builder registry in
 :mod:`repro.gates.standard`; fused blocks produced by the compiler carry an
 explicit matrix (:class:`UnitaryGate`).
+
+Matrix interning
+----------------
+Building a gate matrix is pure in ``(name, params)``, and the same gates
+recur millions of times across a benchmark suite (every ``cx``, every
+``swap`` inserted by routing, repeated rotation angles inside one circuit).
+``Gate.matrix`` therefore resolves through a module-level intern pool:
+
+* non-parametric gates live in :data:`_CONSTANT_MATRICES`, prebuilt for the
+  whole standard library at import time and kept forever;
+* parametrized gates are cached in a bounded FIFO pool keyed by
+  ``(name, params)``.
+
+Every interned (and every explicit) matrix is frozen
+(``writeable=False``), so a cached array can never be corrupted in place by
+a pass or simulator — callers that need a scratch copy must ``.copy()``.
+:func:`matrix_cache_stats` exposes hit/miss counters for the perf harness.
 """
 
 from __future__ import annotations
@@ -13,15 +30,92 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Gate", "UnitaryGate", "register_matrix_builder"]
+__all__ = [
+    "Gate",
+    "UnitaryGate",
+    "register_matrix_builder",
+    "matrix_cache_stats",
+    "reset_matrix_cache_stats",
+]
 
 #: Registry mapping gate names to functions ``params -> unitary matrix``.
 _MATRIX_BUILDERS: Dict[str, Callable[..., np.ndarray]] = {}
 
+#: Interned matrices of non-parametric gates (never evicted).
+_CONSTANT_MATRICES: Dict[str, np.ndarray] = {}
+
+#: Bounded FIFO intern pool for parametrized gate matrices.
+_PARAM_MATRICES: Dict[Tuple[str, Tuple[float, ...]], np.ndarray] = {}
+_PARAM_POOL_CAPACITY = 4096
+
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+
 
 def register_matrix_builder(name: str, builder: Callable[..., np.ndarray]) -> None:
-    """Register the matrix builder for a named gate."""
+    """Register the matrix builder for a named gate.
+
+    Re-registering a name drops any interned matrices built by the previous
+    builder.
+    """
     _MATRIX_BUILDERS[name] = builder
+    _CONSTANT_MATRICES.pop(name, None)
+    for key in [key for key in _PARAM_MATRICES if key[0] == name]:
+        del _PARAM_MATRICES[key]
+
+
+def matrix_cache_stats() -> Dict[str, int]:
+    """Intern-pool counters: hits, misses and current sizes."""
+    return {
+        "hits": _CACHE_HITS,
+        "misses": _CACHE_MISSES,
+        "constant_entries": len(_CONSTANT_MATRICES),
+        "parametrized_entries": len(_PARAM_MATRICES),
+    }
+
+
+def reset_matrix_cache_stats() -> None:
+    """Zero the hit/miss counters (the perf harness brackets runs with this)."""
+    global _CACHE_HITS, _CACHE_MISSES
+    _CACHE_HITS = 0
+    _CACHE_MISSES = 0
+
+
+def _freeze(matrix: np.ndarray) -> np.ndarray:
+    """Return ``matrix`` as a read-only complex array (copy iff writable)."""
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.flags.writeable:
+        matrix = matrix.copy()
+        matrix.setflags(write=False)
+    return matrix
+
+
+def _interned_matrix(name: str, params: Tuple[float, ...]) -> np.ndarray:
+    """Resolve the read-only interned matrix for ``(name, params)``."""
+    global _CACHE_HITS, _CACHE_MISSES
+    if not params:
+        cached = _CONSTANT_MATRICES.get(name)
+        if cached is not None:
+            _CACHE_HITS += 1
+            return cached
+    else:
+        cached = _PARAM_MATRICES.get((name, params))
+        if cached is not None:
+            _CACHE_HITS += 1
+            return cached
+    try:
+        builder = _MATRIX_BUILDERS[name]
+    except KeyError:
+        raise KeyError(f"no matrix builder registered for gate {name!r}") from None
+    _CACHE_MISSES += 1
+    matrix = _freeze(builder(*params))
+    if not params:
+        _CONSTANT_MATRICES[name] = matrix
+    else:
+        if len(_PARAM_MATRICES) >= _PARAM_POOL_CAPACITY:
+            del _PARAM_MATRICES[next(iter(_PARAM_MATRICES))]
+        _PARAM_MATRICES[(name, params)] = matrix
+    return matrix
 
 
 class Gate:
@@ -49,20 +143,14 @@ class Gate:
         self.name = name
         self.num_qubits = int(num_qubits)
         self.params: Tuple[float, ...] = tuple(float(p) for p in params)
-        self._matrix = None if matrix is None else np.asarray(matrix, dtype=complex)
+        self._matrix = None if matrix is None else _freeze(matrix)
 
     # -- matrix ------------------------------------------------------------
     @property
     def matrix(self) -> np.ndarray:
-        """Unitary matrix of the gate (``2^n x 2^n``)."""
+        """Unitary matrix of the gate (``2^n x 2^n``, read-only, interned)."""
         if self._matrix is None:
-            try:
-                builder = _MATRIX_BUILDERS[self.name]
-            except KeyError:
-                raise KeyError(
-                    f"no matrix builder registered for gate {self.name!r}"
-                ) from None
-            self._matrix = np.asarray(builder(*self.params), dtype=complex)
+            self._matrix = _interned_matrix(self.name, self.params)
         return self._matrix
 
     # -- helpers -----------------------------------------------------------
@@ -118,7 +206,9 @@ class UnitaryGate(Gate):
 
     Used for fused SU(4)/SU(8) blocks produced by the compiler passes and for
     synthesized templates.  The ``label`` keeps a human-readable provenance
-    tag (e.g. ``"su4"`` or ``"block"``).
+    tag (e.g. ``"su4"`` or ``"block"``).  The stored matrix is frozen at
+    construction (copied if the caller's array was writable), so later
+    mutation of the source array cannot corrupt the gate.
     """
 
     def __init__(self, matrix: np.ndarray, label: str = "unitary") -> None:

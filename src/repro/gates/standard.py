@@ -264,6 +264,15 @@ _BUILDERS = {
 for _name, _builder in _BUILDERS.items():
     register_matrix_builder(_name, _builder)
 
+#: Non-parametric standard gates.  Their matrices are constants, so they are
+#: interned eagerly at import time: every ``Gate.matrix`` lookup for them —
+#: including the very first on a hot path — is a read-only cache hit.
+_CONSTANT_NAMES = (
+    "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx",
+    "cx", "cy", "cz", "ch", "cv", "cvdg", "swap", "iswap", "sqisw", "b",
+    "ccx", "ccz", "cswap",
+)
+
 #: Names of standard two-qubit gates (used by circuit metrics and passes).
 TWO_QUBIT_NAMES = frozenset(
     {
@@ -322,6 +331,11 @@ _ARITY = {
     "ccz": 3,
     "cswap": 3,
 }
+
+# Populate the intern pool for every constant standard gate (read-only
+# matrices shared by all Gate instances of that name).
+for _name in _CONSTANT_NAMES:
+    Gate(_name, _ARITY[_name]).matrix
 
 
 def named_gate(name: str, params: Sequence[float] = ()) -> Gate:

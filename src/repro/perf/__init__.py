@@ -1,0 +1,34 @@
+"""Performance measurement for the compiler stack (``repro perf``).
+
+See :mod:`repro.perf.harness` for the microbenchmarks and the
+``BENCH_*.json`` report schema, and ``docs/performance.md`` for how to run
+and read them.
+"""
+
+from repro.perf.harness import (
+    SCHEMA_VERSION,
+    PerfRecord,
+    bench_compile,
+    bench_route,
+    bench_simulate,
+    bench_synthesize,
+    circuits_bit_identical,
+    random_two_qubit_circuit,
+    routing_equivalence,
+    run_perf,
+    write_report,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "PerfRecord",
+    "bench_compile",
+    "bench_route",
+    "bench_simulate",
+    "bench_synthesize",
+    "circuits_bit_identical",
+    "random_two_qubit_circuit",
+    "routing_equivalence",
+    "run_perf",
+    "write_report",
+]

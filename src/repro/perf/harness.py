@@ -1,0 +1,432 @@
+"""The ``repro.perf`` measurement harness.
+
+Times the four hot kernels of the stack — compile, route, synthesize,
+simulate — over deterministic workloads and emits a schema-stable report
+(written as ``BENCH_*.json`` by the CLI).  Two principles, borrowed from the
+measurement methodology of the systems papers this repo tracks:
+
+* **Anchored baselines.**  The routing benchmark times the frozen pre-
+  optimization router (:class:`~repro.compiler.routing.sabre_reference.ReferenceSabreRouter`)
+  next to the fast path in the *same* report, so every ``BENCH_*.json``
+  carries its own speedup denominator instead of comparing against a number
+  measured on different hardware.
+* **Validated measurements.**  Speed claims ride with correctness evidence:
+  the routing benchmark asserts the fast path's output is bit-identical to
+  the baseline, and the equivalence sweep re-checks that over the whole
+  workload suite.
+
+Report schema (``schema = "repro-perf/1"``)::
+
+    {
+      "schema": "repro-perf/1",
+      "created_unix": <float>,            # seconds since epoch
+      "quick": <bool>,                    # quick mode (CI smoke) or full
+      "seed": <int>,
+      "host": {"python": ..., "numpy": ..., "platform": ...},
+      "benchmarks": [                     # one record per microbenchmark
+        {"name": str, "kind": "compile"|"route"|"synthesize"|"simulate",
+         "repeats": int, "wall_seconds": float,   # best of repeats
+         "mean_seconds": float, "gates": int,
+         "gates_per_second": float,               # gates / wall_seconds
+         "extra": {...}},                          # kind-specific details
+      ],
+      "routing": {                        # the anchored routing comparison
+        "num_qubits": int, "num_gates": int, "topology": str,
+        "baseline_seconds": float, "fast_seconds": float,
+        "speedup": float, "bit_identical": bool},
+      "equivalence": {                    # suite-wide fast==reference check
+        "scale": str, "cases": int, "bit_identical": bool,
+        "mismatches": [str, ...]},
+      "cache": {"synthesis": {...} | None,        # CacheStats.as_dict()
+                "gate_matrix": {...}}             # matrix_cache_stats()
+    }
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "PerfRecord",
+    "random_two_qubit_circuit",
+    "circuits_bit_identical",
+    "bench_route",
+    "bench_compile",
+    "bench_synthesize",
+    "bench_simulate",
+    "routing_equivalence",
+    "run_perf",
+    "write_report",
+]
+
+SCHEMA_VERSION = "repro-perf/1"
+
+#: Workload categories exercised by the compile benchmark (a representative
+#: slice; the full suite is covered by the equivalence sweep).
+_COMPILE_CATEGORIES = ("qft", "tof", "alu", "ripple_add")
+
+
+@dataclass
+class PerfRecord:
+    """One microbenchmark measurement."""
+
+    name: str
+    kind: str  # "compile" | "route" | "synthesize" | "simulate"
+    repeats: int
+    wall_seconds: float  # best of repeats
+    mean_seconds: float
+    gates: int
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def gates_per_second(self) -> float:
+        """Throughput over the best repeat."""
+        if self.wall_seconds <= 0.0:
+            return float("inf")
+        return self.gates / self.wall_seconds
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (the ``benchmarks[]`` entry of the schema)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "repeats": self.repeats,
+            "wall_seconds": self.wall_seconds,
+            "mean_seconds": self.mean_seconds,
+            "gates": self.gates,
+            "gates_per_second": self.gates_per_second,
+            "extra": self.extra,
+        }
+
+
+def _time(fn: Callable[[], Any], repeats: int) -> Tuple[float, float, Any]:
+    """Run ``fn`` ``repeats`` times; return (best, mean, last result)."""
+    times: List[float] = []
+    result: Any = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return min(times), sum(times) / len(times), result
+
+
+# ---------------------------------------------------------------------------
+# Deterministic workloads.
+# ---------------------------------------------------------------------------
+
+
+def random_two_qubit_circuit(
+    num_qubits: int,
+    num_gates: int,
+    seed: int = 0,
+    one_qubit_fraction: float = 0.3,
+) -> QuantumCircuit:
+    """Deterministic random 1Q/2Q circuit (the routing stress workload)."""
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, f"random-{num_qubits}q-{num_gates}g-s{seed}")
+    for _ in range(num_gates):
+        if rng.random() < one_qubit_fraction:
+            theta, phi, lam = rng.uniform(0.0, 2.0 * np.pi, 3)
+            circuit.u3(float(theta), float(phi), float(lam), int(rng.integers(num_qubits)))
+        else:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circuit.cx(int(a), int(b))
+    return circuit
+
+
+def circuits_bit_identical(a: QuantumCircuit, b: QuantumCircuit) -> bool:
+    """Gate-for-gate equality: qubits, names, params and exact matrices.
+
+    Delegates to ``Instruction``/``Gate`` equality (frozen-dataclass compare
+    of ``(gate, qubits)``; ``UnitaryGate.__eq__`` compares exact matrix
+    bytes), so fused SU(4) blocks must match bit for bit.
+    """
+    return a.num_qubits == b.num_qubits and a.instructions == b.instructions
+
+
+# ---------------------------------------------------------------------------
+# Microbenchmarks.
+# ---------------------------------------------------------------------------
+
+
+def bench_route(
+    num_qubits: int = 64,
+    num_gates: int = 2000,
+    seed: int = 42,
+    repeats: int = 3,
+    mirroring: bool = True,
+    include_baseline: bool = True,
+) -> Tuple[List[PerfRecord], Optional[Dict[str, Any]]]:
+    """Route a random circuit on a near-square grid; fast path vs baseline.
+
+    Returns the benchmark records and (when ``include_baseline``) the
+    ``routing`` comparison section of the report.
+    """
+    from repro.compiler.routing.coupling_map import CouplingMap
+    from repro.compiler.routing.sabre import SabreRouter
+    from repro.compiler.routing.sabre_reference import ReferenceSabreRouter
+
+    coupling_map = CouplingMap.grid_for(num_qubits)
+    circuit = random_two_qubit_circuit(num_qubits, num_gates, seed=seed)
+    coupling_map.distance_matrix()  # build shared arrays outside the timer
+
+    fast = SabreRouter(coupling_map, mirroring=mirroring)
+    best, mean, result = _time(lambda: fast.run(circuit), repeats)
+    records = [
+        PerfRecord(
+            name=f"route.grid{coupling_map.num_qubits}.random{num_gates}",
+            kind="route",
+            repeats=repeats,
+            wall_seconds=best,
+            mean_seconds=mean,
+            gates=len(result.circuit),
+            extra={
+                "topology": f"{coupling_map.name}-{coupling_map.num_qubits}",
+                "input_gates": len(circuit),
+                "inserted_swaps": result.inserted_swaps,
+                "absorbed_swaps": result.absorbed_swaps,
+                "mirroring": mirroring,
+                "implementation": "fast",
+            },
+        )
+    ]
+    routing: Optional[Dict[str, Any]] = None
+    if include_baseline:
+        # Same repeats as the fast path so the best-of comparison is
+        # symmetric — a single noisy baseline run must not flatter speedup.
+        reference = ReferenceSabreRouter(coupling_map, mirroring=mirroring)
+        ref_best, ref_mean, ref_result = _time(lambda: reference.run(circuit), repeats)
+        records.append(
+            PerfRecord(
+                name=f"route.grid{coupling_map.num_qubits}.random{num_gates}.baseline",
+                kind="route",
+                repeats=repeats,
+                wall_seconds=ref_best,
+                mean_seconds=ref_mean,
+                gates=len(ref_result.circuit),
+                extra={
+                    "topology": f"{coupling_map.name}-{coupling_map.num_qubits}",
+                    "input_gates": len(circuit),
+                    "mirroring": mirroring,
+                    "implementation": "reference",
+                },
+            )
+        )
+        routing = {
+            "num_qubits": coupling_map.num_qubits,
+            "num_gates": num_gates,
+            "topology": coupling_map.name,
+            "baseline_seconds": ref_best,
+            "fast_seconds": best,
+            "speedup": ref_best / best if best > 0 else float("inf"),
+            "bit_identical": circuits_bit_identical(result.circuit, ref_result.circuit)
+            and result.final_layout == ref_result.final_layout,
+        }
+    return records, routing
+
+
+def bench_compile(
+    scale: str = "tiny",
+    categories: Optional[Sequence[str]] = None,
+    compiler: str = "reqisc-eff",
+    seed: int = 0,
+    repeats: int = 1,
+) -> Tuple[List[PerfRecord], Optional[Dict[str, Any]]]:
+    """Compile a workload slice end-to-end and report synthesis-cache stats."""
+    from repro.experiments.common import build_compilers
+    from repro.service.cache import SynthesisCache
+    from repro.workloads.suite import benchmark_suite
+
+    cases = benchmark_suite(scale=scale, categories=list(categories or _COMPILE_CATEGORIES))
+    cache = SynthesisCache(capacity=4096, directory=None)
+    registry = build_compilers([compiler], seed=seed, synthesis_cache=cache)
+    engine = registry[compiler]
+
+    def compile_all():
+        return [engine.compile(case.circuit) for case in cases]
+
+    best, mean, results = _time(compile_all, repeats)
+    input_gates = sum(len(case.circuit) for case in cases)
+    record = PerfRecord(
+        name=f"compile.{compiler}.{scale}",
+        kind="compile",
+        repeats=repeats,
+        wall_seconds=best,
+        mean_seconds=mean,
+        gates=input_gates,
+        extra={
+            "compiler": compiler,
+            "scale": scale,
+            "benchmarks": [case.name for case in cases],
+            "output_2q_gates": sum(r.circuit.count_two_qubit_gates() for r in results),
+        },
+    )
+    return [record], cache.stats.as_dict()
+
+
+def bench_synthesize(count: int = 64, seed: int = 7, repeats: int = 3) -> List[PerfRecord]:
+    """KAK-decompose a batch of Haar-random SU(4) matrices."""
+    from repro.linalg.random import haar_random_su4
+    from repro.linalg.weyl import kak_decompose
+
+    rng = np.random.default_rng(seed)
+    unitaries = [haar_random_su4(rng) for _ in range(count)]
+
+    def decompose_all():
+        return [kak_decompose(u) for u in unitaries]
+
+    best, mean, _ = _time(decompose_all, repeats)
+    return [
+        PerfRecord(
+            name=f"synthesize.kak.su4x{count}",
+            kind="synthesize",
+            repeats=repeats,
+            wall_seconds=best,
+            mean_seconds=mean,
+            gates=count,
+            extra={"unitaries": count},
+        )
+    ]
+
+
+def bench_simulate(num_qubits: int = 10, seed: int = 11, repeats: int = 3) -> List[PerfRecord]:
+    """Statevector-simulate a QFT plus a random layer (matrix-cache hot)."""
+    from repro.workloads.algorithms import qft_circuit
+
+    circuit = qft_circuit(num_qubits)
+    extra_layer = random_two_qubit_circuit(num_qubits, 4 * num_qubits, seed=seed)
+    circuit.compose(extra_layer)
+
+    best, mean, _ = _time(circuit.statevector, repeats)
+    return [
+        PerfRecord(
+            name=f"simulate.statevector.qft{num_qubits}",
+            kind="simulate",
+            repeats=repeats,
+            wall_seconds=best,
+            mean_seconds=mean,
+            gates=len(circuit),
+            extra={"num_qubits": num_qubits},
+        )
+    ]
+
+
+def routing_equivalence(scale: str = "tiny", mirroring: bool = True) -> Dict[str, Any]:
+    """Fast-path vs reference routing over the full workload suite.
+
+    Each suite program is lowered to the CNOT ISA (1Q/2Q gates only) and
+    routed on its near-square grid with both implementations; any gate-level
+    difference is reported.
+    """
+    from repro.compiler.routing.coupling_map import CouplingMap
+    from repro.compiler.routing.sabre import SabreRouter
+    from repro.compiler.routing.sabre_reference import ReferenceSabreRouter
+    from repro.experiments.common import reference_cnot_circuit
+    from repro.workloads.suite import benchmark_suite
+
+    mismatches: List[str] = []
+    cases = benchmark_suite(scale=scale)
+    for case in cases:
+        lowered = reference_cnot_circuit(case.circuit)
+        coupling_map = CouplingMap.grid_for(lowered.num_qubits)
+        fast = SabreRouter(coupling_map, mirroring=mirroring).run(lowered)
+        reference = ReferenceSabreRouter(coupling_map, mirroring=mirroring).run(lowered)
+        if not (
+            circuits_bit_identical(fast.circuit, reference.circuit)
+            and fast.final_layout == reference.final_layout
+            and fast.inserted_swaps == reference.inserted_swaps
+            and fast.absorbed_swaps == reference.absorbed_swaps
+        ):
+            mismatches.append(case.name)
+    return {
+        "scale": scale,
+        "cases": len(cases),
+        "bit_identical": not mismatches,
+        "mismatches": mismatches,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Full harness.
+# ---------------------------------------------------------------------------
+
+
+def run_perf(
+    quick: bool = False,
+    seed: int = 42,
+    repeats: Optional[int] = None,
+    kinds: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
+    """Run the microbenchmark suite and return the schema-stable report.
+
+    ``quick`` trims repeats and workload scale for CI smoke runs; the
+    acceptance-scale routing benchmark (>=64 qubits, >=2000 gates, anchored
+    baseline) runs in both modes.  ``kinds`` restricts to a subset of
+    ``{"compile", "route", "synthesize", "simulate"}``.
+    """
+    from repro.gates.gate import matrix_cache_stats, reset_matrix_cache_stats
+
+    selected = set(kinds) if kinds else {"compile", "route", "synthesize", "simulate"}
+    unknown = selected - {"compile", "route", "synthesize", "simulate"}
+    if unknown:
+        raise ValueError(f"unknown benchmark kinds: {sorted(unknown)}")
+    repeats = repeats if repeats is not None else (1 if quick else 3)
+    reset_matrix_cache_stats()
+
+    records: List[PerfRecord] = []
+    routing: Optional[Dict[str, Any]] = None
+    synthesis_cache: Optional[Dict[str, Any]] = None
+    equivalence: Optional[Dict[str, Any]] = None
+
+    if "route" in selected:
+        route_records, routing = bench_route(
+            num_qubits=64, num_gates=2000, seed=seed, repeats=repeats
+        )
+        records.extend(route_records)
+        equivalence = routing_equivalence(scale="tiny" if quick else "small")
+    if "compile" in selected:
+        compile_records, synthesis_cache = bench_compile(
+            scale="tiny", seed=seed, repeats=repeats if quick else max(2, repeats)
+        )
+        records.extend(compile_records)
+    if "synthesize" in selected:
+        records.extend(bench_synthesize(count=16 if quick else 64, repeats=repeats))
+    if "simulate" in selected:
+        records.extend(bench_simulate(num_qubits=8 if quick else 10, repeats=repeats))
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "quick": quick,
+        "seed": seed,
+        "host": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "benchmarks": [record.as_dict() for record in records],
+        "routing": routing,
+        "equivalence": equivalence,
+        "cache": {
+            "synthesis": synthesis_cache,
+            "gate_matrix": matrix_cache_stats(),
+        },
+    }
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    """Write a report as pretty-printed JSON (``BENCH_*.json`` convention)."""
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")

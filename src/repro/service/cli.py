@@ -24,6 +24,13 @@ registered compilers (``reqisc-full`` / ``reqisc-eff`` / baselines, see
     List the named :class:`~repro.target.target.Target` presets accepted by
     ``--target``.
 
+``perf``
+    Run the :mod:`repro.perf` microbenchmark harness (compile / route /
+    synthesize / simulate) and write a schema-stable ``BENCH_*.json``
+    report with wall times, gates/sec and cache hit rates — the routing
+    measurement is anchored to the frozen pre-optimization SABRE baseline
+    and asserted bit-identical to it (see ``docs/performance.md``).
+
 Every compiling subcommand takes ``--target <preset-or-json-file>`` — a
 preset name (``xy-line``, ``heavy-hex``, ``all-to-all``, optionally suffixed
 with a qubit count like ``xy-line-16``; size-less presets are sized per
@@ -186,6 +193,39 @@ def build_parser() -> argparse.ArgumentParser:
         "targets", help="list the named device-target presets accepted by --target"
     )
     targets_parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    perf_parser = subparsers.add_parser(
+        "perf",
+        help="run the performance microbenchmark suite and write BENCH_*.json",
+        description=(
+            "Times the compile/route/synthesize/simulate hot paths over "
+            "deterministic workloads, anchors the routing measurement to the "
+            "frozen pre-optimization SABRE baseline, and writes a "
+            "schema-stable BENCH_*.json report (see docs/performance.md)."
+        ),
+    )
+    perf_parser.add_argument(
+        "--quick", action="store_true", help="CI smoke mode: fewer repeats, smaller workloads"
+    )
+    perf_parser.add_argument(
+        "--only",
+        metavar="KIND",
+        action="append",
+        choices=("compile", "route", "synthesize", "simulate"),
+        help="restrict to one benchmark kind (repeatable; default: all)",
+    )
+    perf_parser.add_argument("--seed", type=int, default=42, help="workload seed (default: 42)")
+    perf_parser.add_argument(
+        "--repeats", type=int, default=None, metavar="N",
+        help="timing repeats per benchmark (default: 3, or 1 with --quick)",
+    )
+    perf_parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default="BENCH_perf.json",
+        help="report path (default: BENCH_perf.json)",
+    )
+    perf_parser.add_argument("--json", action="store_true", help="also print the report on stdout")
 
     return parser
 
@@ -470,12 +510,60 @@ def _cmd_targets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.perf.harness import run_perf, write_report
+
+    report = run_perf(
+        quick=args.quick,
+        seed=args.seed,
+        repeats=args.repeats,
+        kinds=args.only,
+    )
+    write_report(report, args.output)
+    if args.json:
+        print(json.dumps(report, indent=2, default=_json_default))
+    else:
+        rows = [
+            {
+                "benchmark": record["name"],
+                "kind": record["kind"],
+                "wall_s": f"{record['wall_seconds']:.4f}",
+                "gates": record["gates"],
+                "gates_per_s": f"{record['gates_per_second']:.0f}",
+            }
+            for record in report["benchmarks"]
+        ]
+        from repro.experiments.common import format_rows
+
+        print(format_rows(rows, title=f"repro perf ({'quick' if args.quick else 'full'} mode)"))
+        routing = report.get("routing")
+        if routing:
+            print(
+                "routing: {speedup:.2f}x over pre-optimization baseline "
+                "({baseline_seconds:.3f}s -> {fast_seconds:.3f}s), "
+                "bit_identical={bit_identical}".format(**routing)
+            )
+        equivalence = report.get("equivalence")
+        if equivalence:
+            print(
+                "equivalence: {cases} suite programs at scale={scale}, "
+                "bit_identical={bit_identical}".format(**equivalence)
+            )
+        gate_cache = report["cache"]["gate_matrix"]
+        print(
+            "gate-matrix cache: hits={hits} misses={misses}".format(**gate_cache)
+        )
+    print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
 _COMMANDS = {
     "compile": _cmd_compile,
     "bench": _cmd_bench,
     "suite": _cmd_suite,
     "list": _cmd_list,
     "targets": _cmd_targets,
+    "perf": _cmd_perf,
 }
 
 

@@ -4,17 +4,42 @@ Gates are applied by reshaping the state into a rank-``n`` tensor and
 contracting the gate matrix against the target qubit axes.  Qubit 0 is the
 most significant bit of the computational-basis index (big-endian), matching
 the circuit/matrix convention of :mod:`repro.circuits`.
+
+The axis bookkeeping (which axes move to the front for the contraction and
+how to undo it) depends only on ``(num_qubits, qubits, batched)``, so the
+forward/inverse permutations are precomputed once per signature and cached —
+the per-gate work is then a cached-permutation transpose, one contraction
+and the inverse transpose, with no ``np.moveaxis`` recomputation per call.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
 
 __all__ = ["apply_gate", "simulate_statevector", "probabilities"]
+
+#: (num_qubits, qubits, batched) -> (forward permutation, inverse permutation)
+_PERM_CACHE: Dict[Tuple[int, Tuple[int, ...], bool], Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
+
+
+def _axis_permutations(
+    num_qubits: int, qubits: Tuple[int, ...], batched: bool
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Forward/inverse axis permutations moving ``qubits`` to the front."""
+    key = (num_qubits, qubits, batched)
+    cached = _PERM_CACHE.get(key)
+    if cached is None:
+        total_axes = num_qubits + (1 if batched else 0)
+        remaining = [axis for axis in range(total_axes) if axis not in qubits]
+        forward = tuple(qubits) + tuple(remaining)
+        inverse = tuple(int(axis) for axis in np.argsort(forward))
+        cached = (forward, inverse)
+        _PERM_CACHE[key] = cached
+    return cached
 
 
 def apply_gate(
@@ -29,21 +54,21 @@ def apply_gate(
     dimension factors as ``2^n`` times trailing batch dimensions reshaped
     away by the caller (the unitary simulator reuses this for matrices).
     """
-    qubits = list(qubits)
+    qubits = tuple(qubits)
     k = len(qubits)
     if matrix.shape != (2**k, 2**k):
         raise ValueError("gate matrix does not match the number of target qubits")
     total_dim = 2**num_qubits
     batch = state.size // total_dim
-    tensor = np.reshape(state, [2] * num_qubits + ([batch] if batch > 1 else []))
+    batched = batch > 1
+    forward, inverse = _axis_permutations(num_qubits, qubits, batched)
+    tensor = np.reshape(state, [2] * num_qubits + ([batch] if batched else []))
     # Move the target axes to the front, contract, and move them back.
-    source_axes = qubits
-    tensor = np.moveaxis(tensor, source_axes, range(k))
+    tensor = tensor.transpose(forward)
     shape = tensor.shape
     tensor = np.reshape(tensor, (2**k, -1))
     tensor = matrix @ tensor
-    tensor = np.reshape(tensor, shape)
-    tensor = np.moveaxis(tensor, range(k), source_axes)
+    tensor = np.reshape(tensor, shape).transpose(inverse)
     return np.reshape(tensor, state.shape)
 
 

@@ -40,17 +40,18 @@ def permutation_unitary(permutation: Sequence[int]) -> np.ndarray:
 
     Used to undo the qubit relabelling accumulated by gate mirroring and by
     routing when comparing compiled circuits against the original program.
+    Computed with vectorized bit arithmetic: for every basis state, the bit
+    read from logical position ``q`` is written to wire ``permutation[q]``.
     """
     num_qubits = len(permutation)
     dim = 2**num_qubits
+    basis = np.arange(dim, dtype=np.int64)
+    target = np.zeros(dim, dtype=np.int64)
+    for logical, wire in enumerate(permutation):
+        bits = (basis >> (num_qubits - 1 - logical)) & 1
+        target |= bits << (num_qubits - 1 - wire)
     matrix = np.zeros((dim, dim))
-    for basis in range(dim):
-        bits = [(basis >> (num_qubits - 1 - q)) & 1 for q in range(num_qubits)]
-        new_bits = [0] * num_qubits
-        for logical, wire in enumerate(permutation):
-            new_bits[wire] = bits[logical]
-        target = sum(bit << (num_qubits - 1 - q) for q, bit in enumerate(new_bits))
-        matrix[target, basis] = 1.0
+    matrix[target, basis] = 1.0
     return matrix
 
 

@@ -105,6 +105,18 @@ class Target:
                 models[isa] = su4_duration_model(self.coupling, self.one_qubit_duration)
         return models[isa]
 
+    def distance_matrix(self) -> Optional[Any]:
+        """The coupling map's cached hop-count matrix (``None`` if logical).
+
+        Delegates to :meth:`CouplingMap.distance_matrix`, which caches the
+        compact integer array per map — every duration model, routing run
+        and perf probe built on this target shares one matrix instead of
+        re-deriving it.
+        """
+        if self.coupling_map is None:
+            return None
+        return self.coupling_map.distance_matrix()
+
     def duration_of(self, circuit: Any, isa: Optional[str] = None) -> float:
         """Critical-path pulse duration of ``circuit`` on this target."""
         from repro.circuits.metrics import circuit_duration

@@ -1,0 +1,119 @@
+"""Property-style equivalence tests: DependencyGraph vs the networkx DAG."""
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import circuit_to_dag, dag_to_circuit, front_layer, layers
+from repro.circuits.depgraph import DependencyGraph
+from repro.perf.harness import random_two_qubit_circuit
+
+
+def _reference_nx_dag(circuit):
+    """The historical networkx construction, kept inline as the oracle."""
+    dag = nx.DiGraph()
+    dag.graph["num_qubits"] = circuit.num_qubits
+    last_on_qubit = {}
+    for index, instruction in enumerate(circuit):
+        dag.add_node(index, instruction=instruction)
+        for qubit in instruction.qubits:
+            previous = last_on_qubit.get(qubit)
+            if previous is not None:
+                dag.add_edge(previous, index)
+            last_on_qubit[qubit] = index
+    return dag
+
+
+def _random_circuit(num_qubits, num_gates, seed):
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, f"dg-{seed}")
+    for _ in range(num_gates):
+        roll = rng.random()
+        if roll < 0.35:
+            circuit.h(int(rng.integers(num_qubits)))
+        elif roll < 0.85:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circuit.cx(int(a), int(b))
+        else:
+            qubits = rng.choice(num_qubits, size=3, replace=False)
+            circuit.ccx(*(int(q) for q in qubits))
+    return circuit
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_depgraph_matches_networkx_reference(seed):
+    circuit = _random_circuit(6, 60, seed)
+    graph = DependencyGraph.from_circuit(circuit)
+    oracle = _reference_nx_dag(circuit)
+
+    assert graph.num_nodes == oracle.number_of_nodes()
+    assert graph.num_edges == oracle.number_of_edges()
+    assert set(graph.edges()) == set(oracle.edges())
+    for node in oracle.nodes:
+        assert graph.in_degree(node) == oracle.in_degree(node)
+        assert graph.out_degree(node) == oracle.out_degree(node)
+        assert list(graph.successors(node)) == sorted(oracle.successors(node))
+        assert set(graph.predecessors(node).tolist()) == set(oracle.predecessors(node))
+        assert graph.instruction(node) is oracle.nodes[node]["instruction"]
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_depgraph_topological_layers_match_peeling(seed):
+    circuit = _random_circuit(5, 40, seed)
+    graph = DependencyGraph.from_circuit(circuit)
+    oracle = _reference_nx_dag(circuit)
+
+    expected = []
+    while oracle.number_of_nodes():
+        layer = sorted(n for n in oracle.nodes if oracle.in_degree(n) == 0)
+        expected.append(layer)
+        oracle.remove_nodes_from(layer)
+    assert graph.topological_layers() == expected
+
+
+def test_circuit_to_dag_is_depgraph_view():
+    circuit = QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2).cx(0, 1)
+    dag = circuit_to_dag(circuit)
+    graph = DependencyGraph.from_circuit(circuit)
+    assert dag.graph["num_qubits"] == 3
+    assert set(dag.edges()) == set(graph.edges())
+    assert front_layer(dag) == graph.front_layer() == [0]
+    rebuilt = dag_to_circuit(dag)
+    assert [i.gate.name for i in rebuilt] == [i.gate.name for i in circuit]
+    assert [i.qubits for i in rebuilt] == [i.qubits for i in circuit]
+
+
+def test_depgraph_round_trip_and_networkx_export():
+    circuit = random_two_qubit_circuit(5, 30, seed=9)
+    graph = DependencyGraph.from_circuit(circuit)
+    rebuilt = graph.to_circuit(name=circuit.name)
+    assert [i.qubits for i in rebuilt] == [i.qubits for i in circuit]
+    exported = graph.to_networkx()
+    assert set(exported.edges()) == set(graph.edges())
+    assert exported.graph["num_qubits"] == circuit.num_qubits
+
+
+def test_depgraph_empty_circuit():
+    graph = DependencyGraph.from_circuit(QuantumCircuit(2))
+    assert graph.num_nodes == 0
+    assert graph.num_edges == 0
+    assert graph.front_layer() == []
+    assert graph.topological_layers() == []
+
+
+def test_layers_match_greedy_qubit_frontier():
+    for seed in range(4):
+        circuit = _random_circuit(5, 35, seed)
+        # Historical greedy qubit-frontier layering, inline as the oracle.
+        expected = []
+        frontier = {q: 0 for q in range(circuit.num_qubits)}
+        for instruction in circuit:
+            level = max(frontier[q] for q in instruction.qubits)
+            if level == len(expected):
+                expected.append([])
+            expected[level].append(instruction)
+            for qubit in instruction.qubits:
+                frontier[qubit] = level + 1
+        assert layers(circuit) == expected

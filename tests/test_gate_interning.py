@@ -1,0 +1,96 @@
+"""Gate-matrix interning: cache hits, read-only arrays, mutation safety."""
+
+import numpy as np
+import pytest
+
+from repro.gates import standard
+from repro.gates.gate import (
+    Gate,
+    UnitaryGate,
+    matrix_cache_stats,
+    reset_matrix_cache_stats,
+)
+
+
+def test_constant_gates_share_one_interned_matrix():
+    assert standard.cx_gate().matrix is standard.cx_gate().matrix
+    assert standard.swap_gate().matrix is standard.swap_gate().matrix
+    # The constant pool is precomputed at import, so the first lookup on a
+    # fresh Gate instance is already a hit.
+    reset_matrix_cache_stats()
+    standard.h_gate().matrix
+    stats = matrix_cache_stats()
+    assert stats["hits"] == 1 and stats["misses"] == 0
+
+
+def test_parametrized_gates_intern_by_name_and_params():
+    a = standard.rz_gate(0.123).matrix
+    b = standard.rz_gate(0.123).matrix
+    assert a is b
+    c = standard.rz_gate(0.124).matrix
+    assert c is not a
+    assert not np.array_equal(a, c)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_repeated_parametrized_gate_hits_cache():
+    reset_matrix_cache_stats()
+    first = standard.can_gate(0.31, 0.21, 0.11).matrix
+    again = standard.can_gate(0.31, 0.21, 0.11).matrix
+    stats = matrix_cache_stats()
+    assert stats["hits"] >= 1
+    np.testing.assert_array_equal(first, again)
+
+
+def test_interned_matrices_are_read_only():
+    for gate in (
+        standard.cx_gate(),
+        standard.swap_gate(),
+        standard.rz_gate(0.5),
+        standard.u3_gate(0.1, 0.2, 0.3),
+    ):
+        matrix = gate.matrix
+        assert not matrix.flags.writeable
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 99.0
+
+
+def test_unitary_gate_matrix_is_frozen_copy():
+    source = np.eye(4, dtype=complex)
+    gate = UnitaryGate(source, label="blk")
+    assert not gate.matrix.flags.writeable
+    # Mutating the caller's array must not corrupt the gate.
+    source[0, 0] = -1.0
+    assert gate.matrix[0, 0] == 1.0
+    with pytest.raises(ValueError):
+        gate.matrix[0, 0] = 5.0
+
+
+def test_gate_copy_shares_frozen_matrix():
+    gate = standard.cx_gate()
+    matrix = gate.matrix
+    duplicate = gate.copy()
+    assert duplicate.matrix is matrix
+
+
+def test_unknown_gate_still_raises_keyerror():
+    with pytest.raises(KeyError, match="no matrix builder"):
+        Gate("definitely-not-registered", 1).matrix
+
+
+def test_reregistering_builder_invalidates_interned_matrix():
+    name = "_test_intern_gate"
+    try:
+        from repro.gates.gate import register_matrix_builder
+
+        register_matrix_builder(name, lambda: np.eye(2, dtype=complex))
+        first = Gate(name, 1).matrix
+        np.testing.assert_array_equal(first, np.eye(2))
+        register_matrix_builder(name, lambda: np.diag([1.0, -1.0]).astype(complex))
+        second = Gate(name, 1).matrix
+        np.testing.assert_array_equal(second, np.diag([1.0, -1.0]))
+    finally:
+        from repro.gates.gate import _CONSTANT_MATRICES, _MATRIX_BUILDERS
+
+        _MATRIX_BUILDERS.pop(name, None)
+        _CONSTANT_MATRICES.pop(name, None)

@@ -1,0 +1,108 @@
+"""Tests for the repro.perf harness and the `repro perf` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.perf.harness import (
+    SCHEMA_VERSION,
+    PerfRecord,
+    bench_route,
+    circuits_bit_identical,
+    random_two_qubit_circuit,
+    run_perf,
+    write_report,
+)
+
+_RECORD_KEYS = {
+    "name",
+    "kind",
+    "repeats",
+    "wall_seconds",
+    "mean_seconds",
+    "gates",
+    "gates_per_second",
+    "extra",
+}
+
+
+def test_random_circuit_is_deterministic():
+    a = random_two_qubit_circuit(6, 40, seed=1)
+    b = random_two_qubit_circuit(6, 40, seed=1)
+    assert circuits_bit_identical(a, b)
+    c = random_two_qubit_circuit(6, 40, seed=2)
+    assert not circuits_bit_identical(a, c)
+
+
+def test_perf_record_throughput():
+    record = PerfRecord(
+        name="x", kind="route", repeats=1, wall_seconds=0.5, mean_seconds=0.5, gates=100
+    )
+    assert record.gates_per_second == 200.0
+    assert set(record.as_dict()) == _RECORD_KEYS
+
+
+def test_bench_route_reports_anchored_baseline_small():
+    records, routing = bench_route(num_qubits=9, num_gates=60, seed=0, repeats=1)
+    assert len(records) == 2
+    implementations = {record.extra["implementation"] for record in records}
+    assert implementations == {"fast", "reference"}
+    assert routing["bit_identical"] is True
+    assert routing["speedup"] > 0.0
+
+
+def test_run_perf_schema_and_file(tmp_path):
+    report = run_perf(quick=True, kinds=["synthesize", "simulate"])
+    assert report["schema"] == SCHEMA_VERSION
+    assert set(report) == {
+        "schema",
+        "created_unix",
+        "quick",
+        "seed",
+        "host",
+        "benchmarks",
+        "routing",
+        "equivalence",
+        "cache",
+    }
+    assert report["routing"] is None  # route kind not selected
+    for record in report["benchmarks"]:
+        assert set(record) == _RECORD_KEYS
+        assert record["wall_seconds"] >= 0.0
+        assert record["gates"] > 0
+    assert "gate_matrix" in report["cache"]
+
+    path = tmp_path / "BENCH_test.json"
+    write_report(report, str(path))
+    loaded = json.loads(path.read_text())
+    assert loaded["schema"] == SCHEMA_VERSION
+    assert loaded["benchmarks"] == report["benchmarks"]
+
+
+def test_run_perf_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown benchmark kinds"):
+        run_perf(kinds=["warp-drive"])
+
+
+def test_cli_perf_writes_bench_json(tmp_path, capsys):
+    from repro.service.cli import main
+
+    output = tmp_path / "BENCH_cli.json"
+    code = main(
+        [
+            "perf",
+            "--quick",
+            "--only",
+            "simulate",
+            "--output",
+            str(output),
+        ]
+    )
+    assert code == 0
+    report = json.loads(output.read_text())
+    assert report["schema"] == SCHEMA_VERSION
+    assert report["quick"] is True
+    kinds = {record["kind"] for record in report["benchmarks"]}
+    assert kinds == {"simulate"}
+    captured = capsys.readouterr()
+    assert "gate-matrix cache" in captured.out

@@ -57,6 +57,8 @@ _LAZY_EXPORTS = {
     "unitary_fingerprint": "repro.service.cache:unitary_fingerprint",
     "benchmark_suite": "repro.workloads.suite:benchmark_suite",
     "DependencyGraph": "repro.circuits.depgraph:DependencyGraph",
+    "CircuitIR": "repro.ir:CircuitIR",
+    "ir_conversion_stats": "repro.ir:conversion_stats",
     "run_perf": "repro.perf.harness:run_perf",
     "write_perf_report": "repro.perf.harness:write_report",
 }

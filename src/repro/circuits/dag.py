@@ -4,15 +4,19 @@ Nodes are instruction indices; a directed edge ``i -> j`` exists when
 instruction ``j`` is the next instruction after ``i`` on at least one shared
 qubit.
 
-The compile hot path no longer consumes ``networkx`` graphs — routing and
-layering build a :class:`repro.circuits.depgraph.DependencyGraph` (flat CSR
-arrays) instead.  :func:`circuit_to_dag` remains as the compatibility
-converter for analysis and test code that wants the rich networkx API; it is
-now a thin wrapper over the array representation.
+.. deprecated::
+    The compiler no longer consumes ``networkx`` graphs anywhere — hot paths
+    build a :class:`repro.circuits.depgraph.DependencyGraph` (flat CSR
+    arrays) and the pipeline threads a mutable :class:`repro.ir.CircuitIR`.
+    :func:`circuit_to_dag` and :func:`layers` now emit a
+    ``DeprecationWarning`` pointing at those replacements;
+    ``DependencyGraph.to_networkx()`` remains the supported way to obtain a
+    rich networkx view for ad-hoc analysis.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import List
 
 import networkx as nx
@@ -27,11 +31,20 @@ __all__ = ["circuit_to_dag", "dag_to_circuit", "layers", "front_layer"]
 def circuit_to_dag(circuit: QuantumCircuit) -> nx.DiGraph:
     """Build the dependency DAG of ``circuit`` as a ``networkx.DiGraph``.
 
-    Each node carries the corresponding :class:`Instruction` under the
-    ``"instruction"`` attribute.  Prefer
-    :meth:`repro.circuits.depgraph.DependencyGraph.from_circuit` on hot
-    paths; this converter exists for networkx-based analysis code.
+    .. deprecated::
+        Use :meth:`repro.circuits.depgraph.DependencyGraph.from_circuit`
+        (arrays, hot-path safe) or
+        :meth:`repro.ir.CircuitIR.dependency_graph` (shared, cached inside
+        the pipeline); call ``.to_networkx()`` on either when the rich
+        networkx API is genuinely needed.
     """
+    warnings.warn(
+        "circuit_to_dag is deprecated; build a DependencyGraph "
+        "(repro.circuits.depgraph) or a CircuitIR (repro.ir) and call "
+        ".to_networkx() when a networkx view is needed",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return DependencyGraph.from_circuit(circuit).to_networkx()
 
 
@@ -56,11 +69,17 @@ def front_layer(dag: nx.DiGraph) -> List[int]:
 def layers(circuit: QuantumCircuit) -> List[List[Instruction]]:
     """Partition a circuit into greedy layers of mutually disjoint gates.
 
-    Computed from the array-based dependency graph: a gate's layer is its
-    dependency depth (ASAP schedule), which coincides with the greedy
-    qubit-frontier layering because a gate's predecessors are exactly the
-    previous gates on its qubits.
+    .. deprecated::
+        Use :meth:`repro.circuits.depgraph.DependencyGraph.topological_layers`
+        or :meth:`repro.ir.CircuitIR.layers` — both return the same ASAP
+        layering without the deprecated converter in the middle.
     """
+    warnings.warn(
+        "layers is deprecated; use DependencyGraph.topological_layers() "
+        "(repro.circuits.depgraph) or CircuitIR.layers() (repro.ir)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     graph = DependencyGraph.from_circuit(circuit)
     return [
         [graph.instructions[node] for node in layer]

@@ -71,9 +71,21 @@ class DependencyGraph:
     @classmethod
     def from_circuit(cls, circuit: QuantumCircuit) -> "DependencyGraph":
         """Build the dependency graph of ``circuit`` in one O(gates) scan."""
-        instructions = list(circuit.instructions)
+        return cls.from_instructions(circuit.num_qubits, circuit.instructions)
+
+    @classmethod
+    def from_instructions(
+        cls, num_qubits: int, instructions: List[Instruction]
+    ) -> "DependencyGraph":
+        """Build the dependency graph of a bare instruction sequence.
+
+        This is the entry point used by :class:`repro.ir.CircuitIR`, whose
+        program lives as a node list rather than a circuit; the circuit
+        classmethod above is a thin wrapper.
+        """
+        instructions = list(instructions)
         n = len(instructions)
-        last_on_qubit = [-1] * circuit.num_qubits
+        last_on_qubit = [-1] * num_qubits
         pred_lists: List[List[int]] = []
         out_counts = [0] * n
         num_edges = 0
@@ -105,7 +117,7 @@ class DependencyGraph:
                 pred_indices[cursor] = previous
                 cursor += 1
         return cls(
-            circuit.num_qubits,
+            num_qubits,
             instructions,
             succ_indptr,
             succ_indices,

@@ -10,36 +10,40 @@ from __future__ import annotations
 
 from typing import Any, Dict
 
-from repro.circuits.circuit import QuantumCircuit
 from repro.compiler.passes.base import CompilerPass
 from repro.gates.gate import UnitaryGate
+from repro.ir import CircuitIR
 from repro.synthesis.two_qubit import two_qubit_to_can_circuit
 
 __all__ = ["FinalizeToCanPass"]
 
 
 class FinalizeToCanPass(CompilerPass):
-    """Convert fused unitary blocks to ``{Can, U3}`` and drop trivial gates."""
+    """Convert fused unitary blocks to ``{Can, U3}`` and drop trivial gates.
+
+    IR-native: each fused block node expands in place via ``replace_block``,
+    then the single-qubit merge runs as the shared IR kernel.  The
+    circuit-level :meth:`run` entry keeps working through the base-class
+    adapter.
+    """
 
     name = "finalize_to_can"
+    consumes = "ir"
+    produces = "ir"
 
     def __init__(self, merge_single_qubit: bool = True) -> None:
         self.merge_single_qubit = merge_single_qubit
 
-    def run(self, circuit: QuantumCircuit, properties: Dict[str, Any]) -> QuantumCircuit:
-        result = QuantumCircuit(circuit.num_qubits, circuit.name)
-        for instruction in circuit:
+    def run_ir(self, ir: CircuitIR, properties: Dict[str, Any]) -> CircuitIR:
+        for node in list(ir.nodes()):
+            instruction = ir.instruction(node)
             gate = instruction.gate
             if gate.num_qubits == 2 and (isinstance(gate, UnitaryGate) or gate.name != "can"):
                 synthesized = two_qubit_to_can_circuit(gate.matrix, qubits=(0, 1))
                 mapping = {0: instruction.qubits[0], 1: instruction.qubits[1]}
-                for sub in synthesized:
-                    remapped = sub.remap(mapping)
-                    result.append(remapped.gate, remapped.qubits)
-            else:
-                result.append(gate, instruction.qubits)
+                ir.replace_block([node], [sub.remap(mapping) for sub in synthesized])
         if self.merge_single_qubit:
-            from repro.compiler.passes.peephole import _merge_one_qubit_runs
+            from repro.compiler.passes.peephole import _merge_one_qubit_runs_ir
 
-            result = _merge_one_qubit_runs(result)
-        return result
+            _merge_one_qubit_runs_ir(ir)
+        return ir

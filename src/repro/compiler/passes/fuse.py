@@ -4,9 +4,9 @@ from __future__ import annotations
 
 from typing import Any, Dict
 
-from repro.circuits.circuit import QuantumCircuit
 from repro.compiler.passes.base import CompilerPass
-from repro.synthesis.blocks import consolidate_blocks
+from repro.ir import CircuitIR
+from repro.synthesis.blocks import consolidate_blocks_ir
 
 __all__ = ["Fuse2QBlocksPass"]
 
@@ -17,19 +17,27 @@ class Fuse2QBlocksPass(CompilerPass):
     ``form`` selects the output representation: opaque ``su4`` blocks
     (``"unitary"``, default — kept opaque so later passes can keep fusing) or
     ``{Can, U3}`` (``"can"``).
+
+    IR-native: operates on the shared :class:`~repro.ir.CircuitIR` in place
+    (each maximal run collapses onto its first node via ``replace_block``);
+    the circuit-level :meth:`run` entry keeps working through the base-class
+    adapter.
     """
 
     name = "fuse_2q_blocks"
+    consumes = "ir"
+    produces = "ir"
 
     def __init__(self, form: str = "unitary") -> None:
         if form not in ("unitary", "can"):
             raise ValueError("form must be 'unitary' or 'can'")
         self.form = form
 
-    def run(self, circuit: QuantumCircuit, properties: Dict[str, Any]) -> QuantumCircuit:
-        if circuit.max_gate_arity() > 2:
+    def run_ir(self, ir: CircuitIR, properties: Dict[str, Any]) -> CircuitIR:
+        if ir.max_gate_arity() > 2:
             raise ValueError(
                 "Fuse2QBlocksPass expects a circuit with only 1Q/2Q gates; "
                 "lower high-level gates first"
             )
-        return consolidate_blocks(circuit, form=self.form)
+        consolidate_blocks_ir(ir, form=self.form)
+        return ir

@@ -12,12 +12,11 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
-import numpy as np
-
-from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.instruction import Instruction
 from repro.compiler.passes.base import CompilerPass
 from repro.gates import standard
 from repro.gates.gate import UnitaryGate
+from repro.ir import CircuitIR
 from repro.linalg.weyl import is_near_identity, weyl_coordinates
 
 __all__ = ["MirrorNearIdentityPass"]
@@ -26,35 +25,44 @@ _SWAP = standard.swap_gate().matrix
 
 
 class MirrorNearIdentityPass(CompilerPass):
-    """Replace near-identity 2Q gates with their SWAP-composed mirrors."""
+    """Replace near-identity 2Q gates with their SWAP-composed mirrors.
+
+    IR-native: each affected node is rewritten in place with
+    ``substitute_node`` (mirrored gate, or the same gate on permuted wires);
+    untouched gates keep their node.  The circuit-level :meth:`run` entry
+    keeps working through the base-class adapter.
+    """
 
     name = "mirror_near_identity"
+    consumes = "ir"
+    produces = "ir"
 
     def __init__(self, threshold: float = 0.15) -> None:
         self.threshold = threshold
 
-    def run(self, circuit: QuantumCircuit, properties: Dict[str, Any]) -> QuantumCircuit:
-        permutation: List[int] = list(range(circuit.num_qubits))
-        result = QuantumCircuit(circuit.num_qubits, circuit.name)
+    def run_ir(self, ir: CircuitIR, properties: Dict[str, Any]) -> CircuitIR:
+        permutation: List[int] = list(range(ir.num_qubits))
         mirrored_count = 0
-        for instruction in circuit:
+        for node in list(ir.nodes()):
+            instruction = ir.instruction(node)
             wires = tuple(permutation[q] for q in instruction.qubits)
             gate = instruction.gate
             if gate.num_qubits == 2:
                 coords = self._coordinates(gate)
                 if coords is not None and is_near_identity(coords, self.threshold):
                     mirrored = UnitaryGate(_SWAP @ gate.matrix, label="su4")
-                    result.append(mirrored, wires)
+                    ir.substitute_node(node, Instruction(mirrored, wires))
                     # The logical SWAP is resolved by exchanging the wires that
                     # the two logical qubits map to from here on.
                     a, b = instruction.qubits
                     permutation[a], permutation[b] = permutation[b], permutation[a]
                     mirrored_count += 1
                     continue
-            result.append(gate, wires)
+            if wires != instruction.qubits:
+                ir.substitute_node(node, Instruction(gate, wires))
         properties["mirror_permutation"] = list(permutation)
         properties["mirrored_gate_count"] = mirrored_count
-        return result
+        return ir
 
     @staticmethod
     def _coordinates(gate) -> tuple:

@@ -17,10 +17,11 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.instruction import Instruction
 from repro.compiler.passes.base import CompilerPass
 from repro.gates import standard
+from repro.ir import CircuitIR
 from repro.linalg.predicates import allclose_up_to_global_phase
 from repro.linalg.su2 import u3_params_from_matrix
 
-__all__ = ["peephole_optimize", "PeepholeOptimizationPass"]
+__all__ = ["peephole_optimize", "peephole_optimize_ir", "PeepholeOptimizationPass"]
 
 _SELF_INVERSE_2Q = {"cx", "cz", "cy", "swap", "ch"}
 _MERGEABLE_ROTATIONS = {"rz", "rx", "ry", "p", "rzz", "rxx", "ryy", "cp", "crz"}
@@ -130,6 +131,154 @@ def _cancel_adjacent_two_qubit(circuit: QuantumCircuit) -> QuantumCircuit:
     return result
 
 
+# ---------------------------------------------------------------------------
+# IR-native kernels.  These mirror the flat-list functions above instruction
+# for instruction (same scan order, same arithmetic, same tie-breaking), but
+# mutate the shared CircuitIR in place through its rewrite primitives instead
+# of re-emitting a new circuit.
+#
+# The flat functions are kept as deliberately *independent* reference twins
+# (the same pattern as routing's frozen ``sabre_reference``): they are the
+# oracle the randomized property tests compare against, so the two copies
+# must be changed in lockstep — a tweak applied to one side only will fail
+# ``tests/test_ir.py::test_ir_peephole_matches_flat_kernel``.  Do not
+# "deduplicate" the flat side through the IR kernels; that would make the
+# equivalence tests tautological.
+# ---------------------------------------------------------------------------
+
+
+def _merge_one_qubit_runs_ir(ir: CircuitIR) -> None:
+    """IR-native twin of :func:`_merge_one_qubit_runs` (in place)."""
+    pending: Dict[int, np.ndarray] = {}
+    run_nodes: Dict[int, List[int]] = {}
+
+    def flush(qubit: int, anchor: Optional[int]) -> None:
+        matrix = pending.pop(qubit, None)
+        if matrix is None:
+            return
+        nodes = run_nodes.pop(qubit)
+        for node in nodes:
+            ir.remove_node(node)
+        if allclose_up_to_global_phase(matrix, np.eye(2), atol=1e-10):
+            return
+        _, theta, phi, lam = u3_params_from_matrix(matrix)
+        merged = Instruction(standard.u3_gate(theta, phi, lam), (qubit,))
+        if anchor is None:
+            ir.append(merged)
+        else:
+            ir.insert_before(anchor, merged)
+
+    for node in list(ir.nodes()):
+        instruction = ir.instruction(node)
+        if instruction.num_qubits == 1:
+            qubit = instruction.qubits[0]
+            pending[qubit] = instruction.gate.matrix @ pending.get(qubit, np.eye(2, dtype=complex))
+            run_nodes.setdefault(qubit, []).append(node)
+        else:
+            for qubit in instruction.qubits:
+                flush(qubit, anchor=node)
+    for qubit in list(pending):
+        flush(qubit, anchor=None)
+
+
+def _cancel_adjacent_two_qubit_ir(ir: CircuitIR) -> None:
+    """IR-native twin of :func:`_cancel_adjacent_two_qubit` (in place).
+
+    The scan runs over a snapshot of the program order; cancellations remove
+    both nodes, rotation merges substitute the later node in place — exactly
+    the tombstone/rewrite bookkeeping of the flat-list version, expressed as
+    IR primitives.
+    """
+    order = list(ir.nodes())
+    last_on_pair: Dict[tuple, int] = {}
+    last_touch: Dict[int, int] = {}
+    last_nondiagonal_touch: Dict[int, int] = {}
+    for index, node in enumerate(order):
+        instruction = ir.instruction(node)
+        qubits = instruction.qubits
+        if instruction.num_qubits == 2:
+            pair = tuple(sorted(qubits))
+            previous = last_on_pair.get(pair)
+            previous_index = previous if previous is not None else -1
+            blocked = any(last_touch.get(q, -1) > previous_index for q in qubits)
+            blocked_nondiagonal = any(
+                last_nondiagonal_touch.get(q, -1) > previous_index for q in qubits
+            )
+            if previous is not None and order[previous] in ir:
+                prev_instr = ir.instruction(order[previous])
+                same_orientation = prev_instr.qubits == qubits
+                name = instruction.gate.name
+                if (
+                    not blocked
+                    and name in _SELF_INVERSE_2Q
+                    and prev_instr.gate.name == name
+                    and same_orientation
+                ):
+                    ir.remove_node(order[previous])
+                    ir.remove_node(node)
+                    last_on_pair.pop(pair, None)
+                    for q in qubits:
+                        last_touch[q] = index
+                    continue
+                merge_allowed = (not blocked) or (
+                    name in _DIAGONAL_ROTATIONS and not blocked_nondiagonal
+                )
+                if (
+                    merge_allowed
+                    and name in _MERGEABLE_ROTATIONS
+                    and prev_instr.gate.name == name
+                    and same_orientation
+                ):
+                    angle = prev_instr.gate.params[0] + instruction.gate.params[0]
+                    ir.remove_node(order[previous])
+                    if abs(angle) < 1e-12:
+                        ir.remove_node(node)
+                    else:
+                        ir.substitute_node(
+                            node, Instruction(instruction.gate.with_params([angle]), qubits)
+                        )
+                    last_on_pair[pair] = index
+                    for q in qubits:
+                        last_touch[q] = index
+                    continue
+            last_on_pair[pair] = index
+        for q in qubits:
+            last_touch[q] = index
+            if instruction.gate.name not in _DIAGONAL_GATES:
+                last_nondiagonal_touch[q] = index
+
+
+def peephole_optimize_ir(
+    ir: CircuitIR,
+    consolidate: bool = True,
+    max_rounds: int = 4,
+) -> None:
+    """IR-native twin of :func:`peephole_optimize`: optimize ``ir`` in place.
+
+    Fixed-point detection reads the IR's O(1) gate/2Q counters; the optional
+    consolidation round snapshots the program so a non-improving rewrite can
+    be rolled back transactionally (the flat version discards the candidate
+    circuit in that case).
+    """
+    from repro.synthesis.blocks import consolidate_blocks_ir
+
+    for _ in range(max_rounds):
+        gates_before = len(ir)
+        two_qubit_before = ir.two_qubit_count()
+        _merge_one_qubit_runs_ir(ir)
+        _cancel_adjacent_two_qubit_ir(ir)
+        if len(ir) == gates_before and ir.two_qubit_count() == two_qubit_before:
+            break
+    if consolidate:
+        two_qubit_before = ir.two_qubit_count()
+        snapshot = list(ir.instructions())
+        consolidate_blocks_ir(ir, form="cx", only_if_fewer_gates=True)
+        if ir.two_qubit_count() <= two_qubit_before:
+            _merge_one_qubit_runs_ir(ir)
+        else:  # pragma: no cover - only_if_fewer_gates never increases #2Q
+            ir.rewrite(snapshot)
+
+
 def peephole_optimize(
     circuit: QuantumCircuit,
     consolidate: bool = True,
@@ -159,13 +308,21 @@ def peephole_optimize(
 
 
 class PeepholeOptimizationPass(CompilerPass):
-    """Pass wrapper around :func:`peephole_optimize`."""
+    """IR-native pass wrapper around :func:`peephole_optimize_ir`.
+
+    Consumes and produces the shared :class:`~repro.ir.CircuitIR`; the
+    circuit-level :meth:`run` entry keeps working through the base-class
+    adapter and stays bit-identical to :func:`peephole_optimize`.
+    """
 
     name = "peephole"
+    consumes = "ir"
+    produces = "ir"
 
     def __init__(self, consolidate: bool = True, max_rounds: int = 4) -> None:
         self.consolidate = consolidate
         self.max_rounds = max_rounds
 
-    def run(self, circuit: QuantumCircuit, properties: Dict[str, Any]) -> QuantumCircuit:
-        return peephole_optimize(circuit, consolidate=self.consolidate, max_rounds=self.max_rounds)
+    def run_ir(self, ir: CircuitIR, properties: Dict[str, Any]) -> CircuitIR:
+        peephole_optimize_ir(ir, consolidate=self.consolidate, max_rounds=self.max_rounds)
+        return ir

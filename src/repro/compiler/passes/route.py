@@ -6,16 +6,22 @@ hand between two pass-manager runs).  Wrapping it as a
 :class:`~repro.compiler.passes.base.CompilerPass` lets declarative
 :class:`~repro.target.pipeline.PipelineSpec` stages express the whole
 pipeline — including hardware-aware stages — as one ordered list.
+
+The pass is IR-native: it consumes the shared
+:class:`~repro.ir.CircuitIR`, hands its cached CSR
+:class:`~repro.circuits.depgraph.DependencyGraph` straight to
+:meth:`SabreRouter.run_graph` (no re-derivation from a flat gate list), and
+adopts the routed program back into the same IR object.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
-from repro.circuits.circuit import QuantumCircuit
 from repro.compiler.passes.base import CompilerPass
 from repro.compiler.routing.coupling_map import CouplingMap
 from repro.compiler.routing.sabre import SabreRouter
+from repro.ir import CircuitIR
 
 __all__ = ["SabreRoutingPass"]
 
@@ -29,6 +35,8 @@ class SabreRoutingPass(CompilerPass):
     """
 
     name = "sabre_route"
+    consumes = "ir"
+    produces = "ir"
 
     def __init__(
         self,
@@ -44,9 +52,9 @@ class SabreRoutingPass(CompilerPass):
         self.lookahead_size = lookahead_size
         self.lookahead_weight = lookahead_weight
 
-    def run(self, circuit: QuantumCircuit, properties: Dict[str, Any]) -> QuantumCircuit:
+    def run_ir(self, ir: CircuitIR, properties: Dict[str, Any]) -> CircuitIR:
         if self.coupling_map is None:
-            return circuit
+            return ir
         router = SabreRouter(
             self.coupling_map,
             mirroring=self.mirroring,
@@ -54,9 +62,10 @@ class SabreRoutingPass(CompilerPass):
             lookahead_weight=self.lookahead_weight,
             seed=self.seed,
         )
-        routing = router.run(circuit)
+        routing = router.run_graph(ir.dependency_graph(), name=ir.name)
         properties["initial_layout"] = routing.initial_layout
         properties["final_layout"] = routing.final_layout
         properties["inserted_swaps"] = routing.inserted_swaps
         properties["absorbed_swaps"] = routing.absorbed_swaps
-        return routing.circuit
+        ir.adopt(routing.circuit)
+        return ir

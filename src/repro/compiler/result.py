@@ -62,6 +62,11 @@ class CompilationResult:
         return two_qubit_depth(self.circuit)
 
     @property
+    def depth(self) -> int:
+        """Full circuit depth (all gates, not just two-qubit ones)."""
+        return self.circuit.depth()
+
+    @property
     def distinct_two_qubit_gates(self) -> int:
         """Number of distinct 2Q gates (calibration overhead proxy)."""
         return count_distinct_two_qubit_gates(self.circuit)
@@ -114,6 +119,7 @@ class CompilationResult:
             "target": self.target.name if self.target is not None else None,
             "num_2q": self.num_two_qubit_gates,
             "depth_2q": self.two_qubit_depth,
+            "depth": self.depth,
             "distinct_2q": self.distinct_two_qubit_gates,
             "duration": self.duration(),
             "routing_overhead": self.routing_overhead,

@@ -98,13 +98,30 @@ class SabreRouter:
         ``initial_layout[logical] = physical``; defaults to the identity.
         The routed circuit acts on physical wires.
         """
-        if circuit.max_gate_arity() > 2:
-            raise ValueError("routing expects a circuit with only 1Q/2Q gates")
+        graph = DependencyGraph.from_circuit(circuit)
+        return self.run_graph(graph, initial_layout=initial_layout, name=circuit.name)
+
+    def run_graph(
+        self,
+        graph: DependencyGraph,
+        initial_layout: Optional[Sequence[int]] = None,
+        name: str = "circuit",
+    ) -> RoutingResult:
+        """Route a prebuilt dependency graph onto the coupling map.
+
+        This is the entry point used by the IR pipeline: the
+        :class:`~repro.ir.CircuitIR` hands over its cached
+        :class:`DependencyGraph` directly, so routing never re-derives the
+        dependency structure from a flat gate list.
+        """
+        for instruction in graph.instructions:
+            if len(instruction.qubits) > 2:
+                raise ValueError("routing expects a circuit with only 1Q/2Q gates")
         num_physical = self.coupling_map.num_qubits
-        if circuit.num_qubits > num_physical:
+        if graph.num_qubits > num_physical:
             raise ValueError("circuit does not fit on the coupling map")
         if initial_layout is None:
-            layout_list = list(range(circuit.num_qubits))
+            layout_list = list(range(graph.num_qubits))
         else:
             layout_list = [int(q) for q in initial_layout]
             for physical in layout_list:
@@ -126,7 +143,6 @@ class SabreRouter:
         edge_array = self.coupling_map.edge_array()
         incident_edge_ids = self.coupling_map.incident_edge_ids()
 
-        graph = DependencyGraph.from_circuit(circuit)
         instructions = graph.instructions
         succ_ptr = graph.succ_indptr.tolist()
         succ = graph.succ_indices.tolist()
@@ -149,7 +165,7 @@ class SabreRouter:
         node_q0 = np.asarray(q0_list, dtype=np.int64) if q0_list else np.empty(0, dtype=np.int64)
         node_q1 = np.asarray(q1_list, dtype=np.int64) if q1_list else np.empty(0, dtype=np.int64)
 
-        output = QuantumCircuit(num_physical, circuit.name)
+        output = QuantumCircuit(num_physical, name)
         out_list = output.instructions
         decay = np.ones(num_physical)
         lookahead_weight = self.lookahead_weight
@@ -175,7 +191,7 @@ class SabreRouter:
         num_ext = 0  # E: trailing pairs from the lookahead set
         front_dirty = True
 
-        max_steps = 50 * (len(circuit) + 10) * max(1, num_physical)
+        max_steps = 50 * (graph.num_nodes + 10) * max(1, num_physical)
         steps = 0
         while front:
             steps += 1
@@ -335,7 +351,7 @@ class SabreRouter:
         return RoutingResult(
             circuit=output,
             initial_layout=(
-                list(initial_layout) if initial_layout is not None else list(range(circuit.num_qubits))
+                list(initial_layout) if initial_layout is not None else list(range(graph.num_qubits))
             ),
             final_layout=layout_list,
             inserted_swaps=inserted_swaps,

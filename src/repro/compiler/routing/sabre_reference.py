@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.dag import circuit_to_dag
+from repro.circuits.depgraph import DependencyGraph
 from repro.circuits.instruction import Instruction
 from repro.compiler.routing.coupling_map import CouplingMap
 from repro.gates import standard
@@ -73,7 +73,7 @@ class ReferenceSabreRouter:
             layout = list(initial_layout)
         distance = self.coupling_map.distance_matrix()
 
-        dag = circuit_to_dag(circuit)
+        dag = DependencyGraph.from_circuit(circuit).to_networkx()
         indegree = {node: dag.in_degree(node) for node in dag.nodes}
         front: List[int] = [node for node, degree in indegree.items() if degree == 0]
 

@@ -1,7 +1,7 @@
 """The ``repro.perf`` measurement harness.
 
-Times the four hot kernels of the stack — compile, route, synthesize,
-simulate — over deterministic workloads and emits a schema-stable report
+Times the five hot kernels of the stack — compile, route, synthesize,
+simulate, and the IR pipeline path — over deterministic workloads and emits a schema-stable report
 (written as ``BENCH_*.json`` by the CLI).  Two principles, borrowed from the
 measurement methodology of the systems papers this repo tracks:
 
@@ -15,16 +15,16 @@ measurement methodology of the systems papers this repo tracks:
   the baseline, and the equivalence sweep re-checks that over the whole
   workload suite.
 
-Report schema (``schema = "repro-perf/1"``)::
+Report schema (``schema = "repro-perf/2"``)::
 
     {
-      "schema": "repro-perf/1",
+      "schema": "repro-perf/2",
       "created_unix": <float>,            # seconds since epoch
       "quick": <bool>,                    # quick mode (CI smoke) or full
       "seed": <int>,
       "host": {"python": ..., "numpy": ..., "platform": ...},
       "benchmarks": [                     # one record per microbenchmark
-        {"name": str, "kind": "compile"|"route"|"synthesize"|"simulate",
+        {"name": str, "kind": "compile"|"route"|"synthesize"|"simulate"|"ir",
          "repeats": int, "wall_seconds": float,   # best of repeats
          "mean_seconds": float, "gates": int,
          "gates_per_second": float,               # gates / wall_seconds
@@ -37,6 +37,13 @@ Report schema (``schema = "repro-perf/1"``)::
       "equivalence": {                    # suite-wide fast==reference check
         "scale": str, "cases": int, "bit_identical": bool,
         "mismatches": [str, ...]},
+      "ir": {                             # shared-IR vs legacy marshalling
+        "compiler": str, "scale": str, "cases": int,
+        "conversions_per_compile": float,         # circuit<->IR marshals, IR path
+        "legacy_conversions_per_compile": float,  # same, with per-pass boundaries
+        "dag_builds_per_compile": float,
+        "ir_seconds": float, "legacy_seconds": float,
+        "speedup": float, "bit_identical": bool},
       "cache": {"synthesis": {...} | None,        # CacheStats.as_dict()
                 "gate_matrix": {...}}             # matrix_cache_stats()
     }
@@ -61,6 +68,7 @@ __all__ = [
     "circuits_bit_identical",
     "bench_route",
     "bench_compile",
+    "bench_ir",
     "bench_synthesize",
     "bench_simulate",
     "routing_equivalence",
@@ -68,7 +76,7 @@ __all__ = [
     "write_report",
 ]
 
-SCHEMA_VERSION = "repro-perf/1"
+SCHEMA_VERSION = "repro-perf/2"
 
 #: Workload categories exercised by the compile benchmark (a representative
 #: slice; the full suite is covered by the equivalence sweep).
@@ -80,7 +88,7 @@ class PerfRecord:
     """One microbenchmark measurement."""
 
     name: str
-    kind: str  # "compile" | "route" | "synthesize" | "simulate"
+    kind: str  # "compile" | "route" | "synthesize" | "simulate" | "ir"
     repeats: int
     wall_seconds: float  # best of repeats
     mean_seconds: float
@@ -273,6 +281,141 @@ def bench_compile(
     return [record], cache.stats.as_dict()
 
 
+def bench_ir(
+    scale: str = "tiny",
+    compiler: str = "reqisc-eff",
+    seed: int = 0,
+    repeats: int = 1,
+    categories: Optional[Sequence[str]] = None,
+) -> Tuple[List[PerfRecord], Dict[str, Any]]:
+    """Shared-IR pipeline vs per-pass circuit marshalling (the PR-4 metric).
+
+    Runs the same pipeline twice over a workload slice routed on per-circuit
+    ``xy-line`` targets:
+
+    * **ir** — the normal :class:`~repro.compiler.passes.base.PassManager`
+      path, converting between circuit and :class:`~repro.ir.CircuitIR` at
+      most once per representation change (two conversions per compile for
+      the ReQISC pipelines);
+    * **legacy** — ``force_circuit_boundaries=True``, reproducing the
+      pre-refactor behaviour of re-marshalling a flat gate list at every
+      pass boundary.
+
+    Both paths must be bit-identical; the returned ``ir`` report section
+    carries the conversion counts (measured via
+    :func:`repro.ir.conversion_stats`), the wall-time comparison and the
+    equivalence verdict.  A third record times the raw circuit<->IR
+    round-trip on a large random circuit.
+    """
+    from repro.ir import CircuitIR, conversion_stats, reset_conversion_stats
+    from repro.target.pipeline import PASS_REGISTRY, PassContext, named_pipeline
+    from repro.target.properties import PropertySet
+    from repro.target.target import resolve_target
+    from repro.workloads.suite import benchmark_suite
+
+    cases = benchmark_suite(scale=scale, categories=list(categories or _COMPILE_CATEGORIES))
+    spec = named_pipeline(compiler)
+    input_gates = sum(len(case.circuit) for case in cases)
+
+    def run_all(force_circuit_boundaries: bool) -> List[QuantumCircuit]:
+        from repro.compiler.passes.base import PassManager
+
+        compiled: List[QuantumCircuit] = []
+        for case in cases:
+            target = resolve_target("xy-line", num_qubits=case.circuit.num_qubits)
+            context = PassContext(target=target, seed=seed)
+            manager = PassManager(force_circuit_boundaries=force_circuit_boundaries)
+            for stage in spec.stages:
+                if stage.requires_topology and target.coupling_map is None:
+                    continue
+                manager.append(PASS_REGISTRY.create(stage, context))
+            properties = PropertySet()
+            properties["isa"] = spec.isa
+            compiled.append(manager.run(case.circuit, properties))
+        return compiled
+
+    repeats = max(1, repeats)
+    run_all(False)  # warm the matrix/KAK pools so neither path pays cold-start
+    reset_conversion_stats()
+    ir_best, ir_mean, ir_outputs = _time(lambda: run_all(False), repeats)
+    ir_stats = conversion_stats()
+    reset_conversion_stats()
+    legacy_best, legacy_mean, legacy_outputs = _time(lambda: run_all(True), repeats)
+    legacy_stats = conversion_stats()
+    reset_conversion_stats()
+
+    compiles = len(cases) * repeats
+    per_compile = lambda stats: (stats["from_circuit"] + stats["to_circuit"]) / compiles  # noqa: E731
+    bit_identical = all(
+        circuits_bit_identical(a, b) for a, b in zip(ir_outputs, legacy_outputs)
+    )
+
+    records = [
+        PerfRecord(
+            name=f"ir.pipeline.{compiler}.{scale}",
+            kind="ir",
+            repeats=repeats,
+            wall_seconds=ir_best,
+            mean_seconds=ir_mean,
+            gates=input_gates,
+            extra={
+                "compiler": compiler,
+                "scale": scale,
+                "boundaries": "shared-ir",
+                "conversions_per_compile": per_compile(ir_stats),
+                "dag_builds_per_compile": ir_stats["dag_builds"] / compiles,
+            },
+        ),
+        PerfRecord(
+            name=f"ir.pipeline.{compiler}.{scale}.legacy",
+            kind="ir",
+            repeats=repeats,
+            wall_seconds=legacy_best,
+            mean_seconds=legacy_mean,
+            gates=input_gates,
+            extra={
+                "compiler": compiler,
+                "scale": scale,
+                "boundaries": "per-pass-circuit",
+                "conversions_per_compile": per_compile(legacy_stats),
+                "dag_builds_per_compile": legacy_stats["dag_builds"] / compiles,
+            },
+        ),
+    ]
+
+    # Raw marshalling micro: one large circuit, circuit -> IR -> circuit.
+    roundtrip_circuit = random_two_qubit_circuit(32, 4000, seed=seed)
+    best, mean, _ = _time(
+        lambda: CircuitIR.from_circuit(roundtrip_circuit).to_circuit(), max(3, repeats)
+    )
+    reset_conversion_stats()
+    records.append(
+        PerfRecord(
+            name="ir.roundtrip.random32q4000g",
+            kind="ir",
+            repeats=max(3, repeats),
+            wall_seconds=best,
+            mean_seconds=mean,
+            gates=len(roundtrip_circuit),
+            extra={"num_qubits": 32},
+        )
+    )
+
+    section = {
+        "compiler": compiler,
+        "scale": scale,
+        "cases": len(cases),
+        "conversions_per_compile": per_compile(ir_stats),
+        "legacy_conversions_per_compile": per_compile(legacy_stats),
+        "dag_builds_per_compile": ir_stats["dag_builds"] / compiles,
+        "ir_seconds": ir_best,
+        "legacy_seconds": legacy_best,
+        "speedup": legacy_best / ir_best if ir_best > 0 else float("inf"),
+        "bit_identical": bit_identical,
+    }
+    return records, section
+
+
 def bench_synthesize(count: int = 64, seed: int = 7, repeats: int = 3) -> List[PerfRecord]:
     """KAK-decompose a batch of Haar-random SU(4) matrices."""
     from repro.linalg.random import haar_random_su4
@@ -371,12 +514,13 @@ def run_perf(
     ``quick`` trims repeats and workload scale for CI smoke runs; the
     acceptance-scale routing benchmark (>=64 qubits, >=2000 gates, anchored
     baseline) runs in both modes.  ``kinds`` restricts to a subset of
-    ``{"compile", "route", "synthesize", "simulate"}``.
+    ``{"compile", "route", "ir", "synthesize", "simulate"}``.
     """
     from repro.gates.gate import matrix_cache_stats, reset_matrix_cache_stats
 
-    selected = set(kinds) if kinds else {"compile", "route", "synthesize", "simulate"}
-    unknown = selected - {"compile", "route", "synthesize", "simulate"}
+    all_kinds = {"compile", "route", "ir", "synthesize", "simulate"}
+    selected = set(kinds) if kinds else set(all_kinds)
+    unknown = selected - all_kinds
     if unknown:
         raise ValueError(f"unknown benchmark kinds: {sorted(unknown)}")
     repeats = repeats if repeats is not None else (1 if quick else 3)
@@ -386,6 +530,7 @@ def run_perf(
     routing: Optional[Dict[str, Any]] = None
     synthesis_cache: Optional[Dict[str, Any]] = None
     equivalence: Optional[Dict[str, Any]] = None
+    ir_section: Optional[Dict[str, Any]] = None
 
     if "route" in selected:
         route_records, routing = bench_route(
@@ -398,6 +543,13 @@ def run_perf(
             scale="tiny", seed=seed, repeats=repeats if quick else max(2, repeats)
         )
         records.extend(compile_records)
+    if "ir" in selected:
+        # Best-of-5 in full mode: the marshalling delta is only a few
+        # percent of a compile, so the minimum needs more samples to settle.
+        ir_records, ir_section = bench_ir(
+            scale="tiny", seed=seed, repeats=1 if quick else max(5, repeats)
+        )
+        records.extend(ir_records)
     if "synthesize" in selected:
         records.extend(bench_synthesize(count=16 if quick else 64, repeats=repeats))
     if "simulate" in selected:
@@ -416,6 +568,7 @@ def run_perf(
         "benchmarks": [record.as_dict() for record in records],
         "routing": routing,
         "equivalence": equivalence,
+        "ir": ir_section,
         "cache": {
             "synthesis": synthesis_cache,
             "gate_matrix": matrix_cache_stats(),

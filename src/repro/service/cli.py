@@ -211,7 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--only",
         metavar="KIND",
         action="append",
-        choices=("compile", "route", "synthesize", "simulate"),
+        choices=("compile", "route", "ir", "synthesize", "simulate"),
         help="restrict to one benchmark kind (repeatable; default: all)",
     )
     perf_parser.add_argument("--seed", type=int, default=42, help="workload seed (default: 42)")
@@ -372,7 +372,24 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         "cache": cache.stats.as_dict() if cache else None,
         "elapsed_seconds": elapsed,
     }
-    _emit(_render(report, [row], args), args)
+    text = _render(report, [row], args)
+    if not (getattr(args, "json", False) or getattr(args, "csv", False)):
+        from repro.experiments.common import format_rows
+
+        pass_rows = [
+            {
+                "pass": record.name,
+                "seconds": record.seconds,
+                "gates": f"{record.gates_before}->{record.gates_after}",
+                "2q": f"{record.two_qubit_before}->{record.two_qubit_after}",
+                "depth": f"{record.depth_before}->{record.depth_after}",
+                "writes": ",".join(record.properties_written) or "-",
+            }
+            for record in result.pass_records
+        ]
+        if pass_rows:
+            text += "\n" + format_rows(pass_rows, title="passes")
+    _emit(text, args)
     return 0
 
 
@@ -548,6 +565,14 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             print(
                 "equivalence: {cases} suite programs at scale={scale}, "
                 "bit_identical={bit_identical}".format(**equivalence)
+            )
+        ir_section = report.get("ir")
+        if ir_section:
+            print(
+                "ir: {conversions_per_compile:.1f} circuit<->IR conversions per "
+                "compile (legacy {legacy_conversions_per_compile:.1f}), "
+                "{speedup:.2f}x over per-pass marshalling, "
+                "bit_identical={bit_identical}".format(**ir_section)
             )
         gate_cache = report["cache"]["gate_matrix"]
         print(

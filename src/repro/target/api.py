@@ -20,6 +20,7 @@ from typing import Any, Dict, Mapping, Optional, Union
 from repro.circuits.circuit import QuantumCircuit
 from repro.compiler.passes.base import PassManager
 from repro.compiler.result import CompilationResult
+from repro.ir import CircuitIR
 from repro.target.pipeline import PASS_REGISTRY, PassContext, PipelineSpec, named_pipeline
 from repro.target.properties import PropertySet
 from repro.target.target import Target, resolve_target
@@ -28,7 +29,7 @@ __all__ = ["compile", "PipelineCompiler"]
 
 
 def compile(
-    circuit: QuantumCircuit,
+    circuit: Union[QuantumCircuit, CircuitIR],
     target: Union[None, str, Dict[str, Any], Target] = None,
     spec: Union[str, PipelineSpec] = "reqisc-full",
     *,
@@ -40,6 +41,10 @@ def compile(
 
     Parameters
     ----------
+    circuit:
+        The program to compile: a flat :class:`QuantumCircuit`, or a
+        pre-built :class:`~repro.ir.CircuitIR` (handed to the first
+        IR-consuming pass without an extra conversion).
     target:
         A :class:`Target`, a preset name (``"xy-line"``, ``"heavy-hex"``,
         ...), a ``Target.to_dict()`` payload, a path to a JSON target file,

@@ -11,6 +11,14 @@ specs over this machinery; see :func:`named_pipeline`.
 Stage configs may hold arbitrary Python objects (e.g. a pre-built
 ``ApproximateSynthesizer``) for programmatic use; specs built from the named
 presets are JSON-serializable.
+
+Representation contract: a factory may return either a flat-circuit pass or
+an IR-native one (``consumes = produces = "ir"``, operating on the shared
+:class:`repro.ir.CircuitIR`) — the :class:`~repro.compiler.passes.base.PassManager`
+reads each pass's declaration and converts at most once per representation
+change, so declarative specs mix both kinds freely (the built-in ReQISC
+specs run ``peephole``/``fuse_2q``/``mirror``/``route``/``finalize``
+IR-natively and the synthesis stages at circuit level).
 """
 
 from __future__ import annotations

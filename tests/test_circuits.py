@@ -150,7 +150,8 @@ def test_compute_metrics_bundle():
 def test_dag_roundtrip_preserves_unitary():
     circuit = QuantumCircuit(3)
     circuit.h(0).cx(0, 1).rz(0.4, 1).cx(1, 2).h(2).cx(0, 2)
-    dag = circuit_to_dag(circuit)
+    with pytest.deprecated_call():
+        dag = circuit_to_dag(circuit)
     rebuilt = dag_to_circuit(dag)
     assert np.allclose(circuit.to_unitary(), rebuilt.to_unitary())
     assert len(rebuilt) == len(circuit)
@@ -159,7 +160,8 @@ def test_dag_roundtrip_preserves_unitary():
 def test_dag_front_layer():
     circuit = QuantumCircuit(4)
     circuit.cx(0, 1).cx(2, 3).cx(1, 2)
-    dag = circuit_to_dag(circuit)
+    with pytest.deprecated_call():
+        dag = circuit_to_dag(circuit)
     front = front_layer(dag)
     assert set(front) == {0, 1}
 
@@ -167,7 +169,8 @@ def test_dag_front_layer():
 def test_layers_partition():
     circuit = QuantumCircuit(4)
     circuit.cx(0, 1).cx(2, 3).cx(1, 2).h(0)
-    layering = layers(circuit)
+    with pytest.deprecated_call():
+        layering = layers(circuit)
     assert len(layering) == 2
     assert len(layering[0]) == 2
     names = sorted(instr.gate.name for instr in layering[1])

@@ -75,7 +75,8 @@ def test_depgraph_topological_layers_match_peeling(seed):
 
 def test_circuit_to_dag_is_depgraph_view():
     circuit = QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2).cx(0, 1)
-    dag = circuit_to_dag(circuit)
+    with pytest.deprecated_call():
+        dag = circuit_to_dag(circuit)
     graph = DependencyGraph.from_circuit(circuit)
     assert dag.graph["num_qubits"] == 3
     assert set(dag.edges()) == set(graph.edges())
@@ -116,4 +117,6 @@ def test_layers_match_greedy_qubit_frontier():
             expected[level].append(instruction)
             for qubit in instruction.qubits:
                 frontier[qubit] = level + 1
-        assert layers(circuit) == expected
+        with pytest.deprecated_call():
+            layering = layers(circuit)
+        assert layering == expected

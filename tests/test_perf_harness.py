@@ -63,9 +63,11 @@ def test_run_perf_schema_and_file(tmp_path):
         "benchmarks",
         "routing",
         "equivalence",
+        "ir",
         "cache",
     }
     assert report["routing"] is None  # route kind not selected
+    assert report["ir"] is None  # ir kind not selected
     for record in report["benchmarks"]:
         assert set(record) == _RECORD_KEYS
         assert record["wall_seconds"] >= 0.0
@@ -82,6 +84,21 @@ def test_run_perf_schema_and_file(tmp_path):
 def test_run_perf_rejects_unknown_kind():
     with pytest.raises(ValueError, match="unknown benchmark kinds"):
         run_perf(kinds=["warp-drive"])
+
+
+def test_bench_ir_conversion_drop_and_bit_identity():
+    from repro.perf.harness import bench_ir
+
+    records, section = bench_ir(scale="tiny", repeats=1, categories=["qft", "tof"])
+    assert section["bit_identical"] is True
+    # The shared-IR path marshals exactly twice per compile (in and out);
+    # the legacy per-pass boundaries pay one round-trip per IR-native pass.
+    assert section["conversions_per_compile"] <= 2.0
+    assert section["legacy_conversions_per_compile"] >= 2 * section["conversions_per_compile"]
+    assert section["dag_builds_per_compile"] <= 1.0
+    names = [record.name for record in records]
+    assert len(names) == len(set(names))
+    assert all(record.kind == "ir" for record in records)
 
 
 def test_cli_perf_writes_bench_json(tmp_path, capsys):

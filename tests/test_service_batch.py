@@ -121,6 +121,41 @@ def test_cached_compilation_is_identical_and_hits(tmp_path):
     assert second.cache_stats.misses == 0
 
 
+def test_batch_and_sequential_pass_records_are_identical(tmp_path):
+    """Per-pass records (including property writes) are deterministic.
+
+    Every field except wall time must match between a sequential run and a
+    multi-process batch: same pass names, same gate/2Q/depth trajectories and
+    the same sorted snapshot of property keys written by each pass.
+    """
+    cases = benchmark_suite(scale="tiny", categories=["qft", "tof"])
+    sequential = BatchCompiler(compiler="reqisc-eff", workers=1, seed=7).compile_all(cases)
+    parallel = BatchCompiler(
+        compiler="reqisc-eff",
+        workers=2,
+        seed=7,
+        cache=SynthesisCache(directory=str(tmp_path / "cache")),
+    ).compile_all(cases)
+
+    def stable(record):
+        return (
+            record.name,
+            record.gates_before,
+            record.gates_after,
+            record.two_qubit_before,
+            record.two_qubit_after,
+            record.depth_before,
+            record.depth_after,
+            tuple(record.properties_written),
+        )
+
+    for seq_item, par_item in zip(sequential.items, parallel.items):
+        seq_records = [stable(r) for r in seq_item.result.pass_records]
+        par_records = [stable(r) for r in par_item.result.pass_records]
+        assert seq_records == par_records
+        assert seq_records, "compilation must produce pass records"
+
+
 # ---------------------------------------------------------------------------
 # Pass-level cache wiring.
 # ---------------------------------------------------------------------------

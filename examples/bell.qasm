@@ -1,0 +1,11 @@
+// Bell pair: the smallest interchange fixture.
+// Exercises barrier/measure passthrough (both are validated and dropped
+// by the importer; the circuit IR is measurement-free).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+barrier q;
+measure q -> c;

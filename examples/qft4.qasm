@@ -1,0 +1,18 @@
+// 4-qubit quantum Fourier transform, written the way external corpora
+// (MQT Bench / QASMBench) write it: controlled-phase angles as pi
+// expressions, final reversal as swaps.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q[0];
+cp(pi/2) q[1],q[0];
+cp(pi/4) q[2],q[0];
+cp(pi/8) q[3],q[0];
+h q[1];
+cp(pi/2) q[2],q[1];
+cp(pi/4) q[3],q[1];
+h q[2];
+cp(pi/2) q[3],q[2];
+h q[3];
+swap q[0],q[3];
+swap q[1],q[2];

@@ -1,0 +1,34 @@
+// 2-bit ripple-carry adder (Cuccaro style) built from user-defined gate
+// macros -- exercises `gate` definitions, which the importer inlines at
+// parse time, plus multi-register programs (registers are flattened onto
+// one contiguous qubit space in declaration order).
+OPENQASM 2.0;
+include "qelib1.inc";
+gate majority a,b,c
+{
+  cx c,b;
+  cx c,a;
+  ccx a,b,c;
+}
+gate unmaj a,b,c
+{
+  ccx a,b,c;
+  cx c,a;
+  cx a,b;
+}
+qreg cin[1];
+qreg a[2];
+qreg b[2];
+qreg cout[1];
+creg ans[3];
+x a[0];
+x b[0];
+x b[1];
+majority cin[0],b[0],a[0];
+majority a[0],b[1],a[1];
+cx a[1],cout[0];
+unmaj a[0],b[1],a[1];
+unmaj cin[0],b[0],a[0];
+measure b[0] -> ans[0];
+measure b[1] -> ans[1];
+measure cout[0] -> ans[2];

@@ -20,12 +20,12 @@ def _long_description() -> str:
 
 setup(
     name="repro-reqisc",
-    version="1.2.0",
+    version="1.3.0",
     description=(
         "Reproduction of the ReQISC reconfigurable SU(4) quantum ISA: the "
         "genAshN microarchitecture, the Regulus compiler with a first-class "
-        "Target / declarative pipeline API, and a batch compilation service "
-        "with synthesis caching."
+        "Target / declarative pipeline API, a batch compilation service "
+        "with synthesis caching, and an OpenQASM 2 interchange layer."
     ),
     long_description=_long_description(),
     long_description_content_type="text/markdown",

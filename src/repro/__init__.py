@@ -20,7 +20,7 @@ shims over it.
 
 from repro._lazy import lazy_exports
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Mapping from public attribute name to "module:attribute" location.
 _LAZY_EXPORTS = {
@@ -56,6 +56,12 @@ _LAZY_EXPORTS = {
     "SynthesisCache": "repro.service.cache:SynthesisCache",
     "unitary_fingerprint": "repro.service.cache:unitary_fingerprint",
     "benchmark_suite": "repro.workloads.suite:benchmark_suite",
+    "qasm_cases": "repro.workloads.suite:qasm_cases",
+    "QasmError": "repro.qasm:QasmError",
+    "dumps_qasm": "repro.qasm:dumps",
+    "loads_qasm": "repro.qasm:loads",
+    "load_qasm": "repro.qasm:load",
+    "dump_qasm": "repro.qasm:dump",
     "DependencyGraph": "repro.circuits.depgraph:DependencyGraph",
     "CircuitIR": "repro.ir:CircuitIR",
     "ir_conversion_stats": "repro.ir:conversion_stats",

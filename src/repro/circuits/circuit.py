@@ -292,7 +292,25 @@ class QuantumCircuit:
         return simulate_statevector(self, initial_state=initial_state)
 
     def to_qasm(self) -> str:
-        """OpenQASM 2.0 text for the circuit (supported-gate subset)."""
-        from repro.circuits.qasm import circuit_to_qasm
+        """OpenQASM 2.0 text for the circuit (see :mod:`repro.qasm`).
 
-        return circuit_to_qasm(self)
+        Deterministic and exact: ``QuantumCircuit.from_qasm(c.to_qasm())``
+        is gate-for-gate identical to ``c``.
+        """
+        from repro.qasm import dumps
+
+        return dumps(self)
+
+    @classmethod
+    def from_qasm(cls, text: str, name: str = "qasm") -> "QuantumCircuit":
+        """Parse OpenQASM 2.0 text into a circuit (see :mod:`repro.qasm`)."""
+        from repro.qasm import loads
+
+        return loads(text, name=name)
+
+    @classmethod
+    def from_qasm_file(cls, path) -> "QuantumCircuit":
+        """Parse an OpenQASM 2.0 file; the circuit is named after its stem."""
+        from repro.qasm import load
+
+        return load(path)

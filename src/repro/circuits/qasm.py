@@ -1,186 +1,26 @@
-"""Minimal OpenQASM 2.0 emitter and parser.
+"""Compatibility aliases for the :mod:`repro.qasm` interchange package.
 
-Only the gate subset produced/consumed by this project is supported.  The
-emitter allows compiled circuits to be exported in a widely readable format
-(mirroring the original artifact, which writes QASM per benchmark); the
-parser covers the subset needed to round-trip our own output and to ingest
-simple externally produced programs.
+The original minimal emitter/parser that lived here grew into the
+full OpenQASM 2 tokenizer + recursive-descent importer of
+:mod:`repro.qasm`; these thin wrappers keep the historical function
+names importable.  New code should use ``repro.qasm.dumps`` /
+``repro.qasm.loads`` (or the :meth:`QuantumCircuit.to_qasm` /
+:meth:`QuantumCircuit.from_qasm` conveniences) directly.
 """
 
 from __future__ import annotations
 
-import math
-import re
-from typing import Dict, List
-
 from repro.circuits.circuit import QuantumCircuit
-from repro.gates import standard
-from repro.gates.gate import UnitaryGate
+from repro.qasm import dumps, loads
 
 __all__ = ["circuit_to_qasm", "qasm_to_circuit"]
 
-_EMITTABLE_NO_PARAM = {
-    "id",
-    "x",
-    "y",
-    "z",
-    "h",
-    "s",
-    "sdg",
-    "t",
-    "tdg",
-    "sx",
-    "cx",
-    "cy",
-    "cz",
-    "ch",
-    "swap",
-    "iswap",
-    "ccx",
-    "ccz",
-    "cswap",
-}
-
-_EMITTABLE_PARAM = {"rx", "ry", "rz", "p", "u3", "cp", "crz", "rxx", "ryy", "rzz", "can"}
-
 
 def circuit_to_qasm(circuit: QuantumCircuit) -> str:
-    """Serialize ``circuit`` to OpenQASM 2.0 text.
-
-    Canonical gates are emitted as a custom ``can(x, y, z)`` gate declared in
-    the header; fused unitary blocks cannot be serialized and raise.
-    """
-    lines: List[str] = [
-        "OPENQASM 2.0;",
-        'include "qelib1.inc";',
-        "// can(x,y,z) = exp(-i (x XX + y YY + z ZZ)); custom ReQISC primitive",
-        f"qreg q[{circuit.num_qubits}];",
-    ]
-    for instruction in circuit:
-        gate = instruction.gate
-        if isinstance(gate, UnitaryGate):
-            raise ValueError(
-                "fused unitary blocks cannot be serialized to QASM; "
-                "synthesize them into named gates first"
-            )
-        qubits = ",".join(f"q[{q}]" for q in instruction.qubits)
-        if gate.name in _EMITTABLE_NO_PARAM:
-            lines.append(f"{gate.name} {qubits};")
-        elif gate.name in _EMITTABLE_PARAM:
-            params = ",".join(f"{p:.12g}" for p in gate.params)
-            lines.append(f"{gate.name}({params}) {qubits};")
-        elif gate.name == "mcx":
-            raise ValueError("decompose mcx gates before QASM export")
-        else:
-            raise ValueError(f"gate {gate.name!r} has no QASM serialization")
-    return "\n".join(lines) + "\n"
-
-
-_GATE_LINE = re.compile(
-    r"^\s*(?P<name>[a-z_][a-z0-9_]*)\s*(\((?P<params>[^)]*)\))?\s+(?P<args>.+?)\s*;\s*$"
-)
-_QREG_LINE = re.compile(r"^\s*qreg\s+(?P<name>\w+)\s*\[\s*(?P<size>\d+)\s*\]\s*;\s*$")
-_QUBIT_REF = re.compile(r"^\s*(?P<reg>\w+)\s*\[\s*(?P<index>\d+)\s*\]\s*$")
-
-_CONSTRUCTORS = {
-    "id": standard.i_gate,
-    "x": standard.x_gate,
-    "y": standard.y_gate,
-    "z": standard.z_gate,
-    "h": standard.h_gate,
-    "s": standard.s_gate,
-    "sdg": standard.sdg_gate,
-    "t": standard.t_gate,
-    "tdg": standard.tdg_gate,
-    "sx": standard.sx_gate,
-    "cx": standard.cx_gate,
-    "cy": standard.cy_gate,
-    "cz": standard.cz_gate,
-    "ch": standard.ch_gate,
-    "swap": standard.swap_gate,
-    "iswap": standard.iswap_gate,
-    "ccx": standard.ccx_gate,
-    "ccz": standard.ccz_gate,
-    "cswap": standard.cswap_gate,
-}
-
-_PARAM_CONSTRUCTORS = {
-    "rx": standard.rx_gate,
-    "ry": standard.ry_gate,
-    "rz": standard.rz_gate,
-    "p": standard.p_gate,
-    "u3": standard.u3_gate,
-    "u": standard.u3_gate,
-    "cp": standard.cp_gate,
-    "cu1": standard.cp_gate,
-    "crz": standard.crz_gate,
-    "rxx": standard.rxx_gate,
-    "ryy": standard.ryy_gate,
-    "rzz": standard.rzz_gate,
-    "can": standard.can_gate,
-}
-
-
-def _evaluate_parameter(text: str) -> float:
-    """Evaluate a QASM parameter expression (numbers, pi, + - * /)."""
-    allowed = {"pi": math.pi}
-    expression = text.strip()
-    if not re.fullmatch(r"[0-9eE\.\+\-\*/\(\)\s]*|.*pi.*", expression):
-        raise ValueError(f"unsupported parameter expression: {text!r}")
-    if not re.fullmatch(r"[0-9eE\.\+\-\*/\(\)\spi]*", expression):
-        raise ValueError(f"unsupported parameter expression: {text!r}")
-    return float(eval(expression, {"__builtins__": {}}, allowed))  # noqa: S307
+    """Serialize ``circuit`` to OpenQASM 2.0 text (alias of ``repro.qasm.dumps``)."""
+    return dumps(circuit)
 
 
 def qasm_to_circuit(text: str) -> QuantumCircuit:
-    """Parse a (subset of) OpenQASM 2.0 program into a circuit."""
-    registers: Dict[str, int] = {}
-    offsets: Dict[str, int] = {}
-    total_qubits = 0
-    pending: List[str] = []
-    for raw_line in text.splitlines():
-        line = raw_line.split("//", 1)[0].strip()
-        if not line:
-            continue
-        if line.startswith(("OPENQASM", "include", "barrier", "creg", "measure")):
-            continue
-        match = _QREG_LINE.match(line)
-        if match:
-            name = match.group("name")
-            size = int(match.group("size"))
-            offsets[name] = total_qubits
-            registers[name] = size
-            total_qubits += size
-            continue
-        pending.append(line)
-    if total_qubits == 0:
-        raise ValueError("QASM program declares no qubit register")
-
-    circuit = QuantumCircuit(total_qubits, name="qasm")
-    for line in pending:
-        match = _GATE_LINE.match(line)
-        if not match:
-            raise ValueError(f"could not parse QASM line: {line!r}")
-        name = match.group("name")
-        params_text = match.group("params")
-        args = [arg for arg in match.group("args").split(",")]
-        qubits = []
-        for arg in args:
-            ref = _QUBIT_REF.match(arg)
-            if not ref:
-                raise ValueError(f"unsupported qubit reference {arg!r}")
-            register = ref.group("reg")
-            index = int(ref.group("index"))
-            if register not in offsets or index >= registers[register]:
-                raise ValueError(f"unknown qubit {arg!r}")
-            qubits.append(offsets[register] + index)
-        if name in _CONSTRUCTORS:
-            circuit.append(_CONSTRUCTORS[name](), qubits)
-        elif name in _PARAM_CONSTRUCTORS:
-            if params_text is None:
-                raise ValueError(f"gate {name!r} requires parameters")
-            params = [_evaluate_parameter(p) for p in params_text.split(",")]
-            circuit.append(_PARAM_CONSTRUCTORS[name](*params), qubits)
-        else:
-            raise ValueError(f"unsupported QASM gate {name!r}")
-    return circuit
+    """Parse OpenQASM 2.0 text (alias of ``repro.qasm.loads``)."""
+    return loads(text)

@@ -1,7 +1,8 @@
 """The ``repro.perf`` measurement harness.
 
-Times the five hot kernels of the stack — compile, route, synthesize,
-simulate, and the IR pipeline path — over deterministic workloads and emits a schema-stable report
+Times the hot kernels of the stack — compile, route, synthesize,
+simulate, the IR pipeline path, and the QASM interchange layer — over
+deterministic workloads and emits a schema-stable report
 (written as ``BENCH_*.json`` by the CLI).  Two principles, borrowed from the
 measurement methodology of the systems papers this repo tracks:
 
@@ -15,10 +16,10 @@ measurement methodology of the systems papers this repo tracks:
   the baseline, and the equivalence sweep re-checks that over the whole
   workload suite.
 
-Report schema (``schema = "repro-perf/2"``)::
+Report schema (``schema = "repro-perf/3"``)::
 
     {
-      "schema": "repro-perf/2",
+      "schema": "repro-perf/3",
       "created_unix": <float>,            # seconds since epoch
       "quick": <bool>,                    # quick mode (CI smoke) or full
       "seed": <int>,
@@ -44,6 +45,12 @@ Report schema (``schema = "repro-perf/2"``)::
         "dag_builds_per_compile": float,
         "ir_seconds": float, "legacy_seconds": float,
         "speedup": float, "bit_identical": bool},
+      "qasm": {                           # QASM interchange round trip
+        "scale": str, "cases": int, "gates": int,
+        "dump_seconds": float, "load_seconds": float,
+        "dump_gates_per_second": float, "load_gates_per_second": float,
+        "bit_identical": bool,                    # from_qasm(to_qasm(c)) == c
+        "mismatches": [str, ...]},
       "cache": {"synthesis": {...} | None,        # CacheStats.as_dict()
                 "gate_matrix": {...}}             # matrix_cache_stats()
     }
@@ -69,6 +76,7 @@ __all__ = [
     "bench_route",
     "bench_compile",
     "bench_ir",
+    "bench_qasm",
     "bench_synthesize",
     "bench_simulate",
     "routing_equivalence",
@@ -76,7 +84,7 @@ __all__ = [
     "write_report",
 ]
 
-SCHEMA_VERSION = "repro-perf/2"
+SCHEMA_VERSION = "repro-perf/3"
 
 #: Workload categories exercised by the compile benchmark (a representative
 #: slice; the full suite is covered by the equivalence sweep).
@@ -416,6 +424,65 @@ def bench_ir(
     return records, section
 
 
+def bench_qasm(scale: str = "small", repeats: int = 3) -> Tuple[List[PerfRecord], Dict[str, Any]]:
+    """QASM interchange throughput and round-trip identity over the suite.
+
+    Times :func:`repro.qasm.dumps` over every suite circuit at ``scale``
+    and :func:`repro.qasm.loads` over the emitted texts (both in
+    gates/sec), then checks the load-bearing interchange invariant:
+    ``loads(dumps(c))`` must be gate-for-gate identical to ``c`` for every
+    program.  The returned section gates CI the same way the routing/IR
+    bit-identity checks do.
+    """
+    from repro.qasm import dumps, loads
+    from repro.workloads.suite import benchmark_suite
+
+    cases = benchmark_suite(scale=scale)
+    circuits = [case.circuit for case in cases]
+    total_gates = sum(len(circuit) for circuit in circuits)
+
+    dump_best, dump_mean, texts = _time(lambda: [dumps(c) for c in circuits], repeats)
+    load_best, load_mean, parsed = _time(lambda: [loads(t) for t in texts], repeats)
+
+    mismatches = [
+        case.name
+        for case, original, back in zip(cases, circuits, parsed)
+        if not circuits_bit_identical(original, back)
+    ]
+    records = [
+        PerfRecord(
+            name=f"qasm.dump.{scale}",
+            kind="qasm",
+            repeats=repeats,
+            wall_seconds=dump_best,
+            mean_seconds=dump_mean,
+            gates=total_gates,
+            extra={"scale": scale, "cases": len(cases), "direction": "dump"},
+        ),
+        PerfRecord(
+            name=f"qasm.load.{scale}",
+            kind="qasm",
+            repeats=repeats,
+            wall_seconds=load_best,
+            mean_seconds=load_mean,
+            gates=total_gates,
+            extra={"scale": scale, "cases": len(cases), "direction": "load"},
+        ),
+    ]
+    section = {
+        "scale": scale,
+        "cases": len(cases),
+        "gates": total_gates,
+        "dump_seconds": dump_best,
+        "load_seconds": load_best,
+        "dump_gates_per_second": total_gates / dump_best if dump_best > 0 else float("inf"),
+        "load_gates_per_second": total_gates / load_best if load_best > 0 else float("inf"),
+        "bit_identical": not mismatches,
+        "mismatches": mismatches,
+    }
+    return records, section
+
+
 def bench_synthesize(count: int = 64, seed: int = 7, repeats: int = 3) -> List[PerfRecord]:
     """KAK-decompose a batch of Haar-random SU(4) matrices."""
     from repro.linalg.random import haar_random_su4
@@ -514,11 +581,11 @@ def run_perf(
     ``quick`` trims repeats and workload scale for CI smoke runs; the
     acceptance-scale routing benchmark (>=64 qubits, >=2000 gates, anchored
     baseline) runs in both modes.  ``kinds`` restricts to a subset of
-    ``{"compile", "route", "ir", "synthesize", "simulate"}``.
+    ``{"compile", "route", "ir", "qasm", "synthesize", "simulate"}``.
     """
     from repro.gates.gate import matrix_cache_stats, reset_matrix_cache_stats
 
-    all_kinds = {"compile", "route", "ir", "synthesize", "simulate"}
+    all_kinds = {"compile", "route", "ir", "qasm", "synthesize", "simulate"}
     selected = set(kinds) if kinds else set(all_kinds)
     unknown = selected - all_kinds
     if unknown:
@@ -531,6 +598,7 @@ def run_perf(
     synthesis_cache: Optional[Dict[str, Any]] = None
     equivalence: Optional[Dict[str, Any]] = None
     ir_section: Optional[Dict[str, Any]] = None
+    qasm_section: Optional[Dict[str, Any]] = None
 
     if "route" in selected:
         route_records, routing = bench_route(
@@ -550,6 +618,13 @@ def run_perf(
             scale="tiny", seed=seed, repeats=1 if quick else max(5, repeats)
         )
         records.extend(ir_records)
+    if "qasm" in selected:
+        # Quick mode parses the tiny suite; full mode uses medium so the
+        # throughput numbers come from thousands of gates, not dozens.
+        qasm_records, qasm_section = bench_qasm(
+            scale="tiny" if quick else "medium", repeats=repeats
+        )
+        records.extend(qasm_records)
     if "synthesize" in selected:
         records.extend(bench_synthesize(count=16 if quick else 64, repeats=repeats))
     if "simulate" in selected:
@@ -569,6 +644,7 @@ def run_perf(
         "routing": routing,
         "equivalence": equivalence,
         "ir": ir_section,
+        "qasm": qasm_section,
         "cache": {
             "synthesis": synthesis_cache,
             "gate_matrix": matrix_cache_stats(),

@@ -1,0 +1,172 @@
+"""OpenQASM 2.0 exporter.
+
+Serializes a :class:`~repro.circuits.circuit.QuantumCircuit` so that
+``loads(dumps(circuit))`` reproduces it gate for gate: same gate names,
+same qubits, parameters recovered exactly (floats are printed with
+``repr``, whose shortest-round-trip form parses back bit-identically).
+
+Layout of the emitted program::
+
+    OPENQASM 2.0;
+    include "qelib1.inc";
+    // <extension-gate notes>
+    opaque can(x,y,z) a,b;          // one decl per non-qelib1 gate used
+    // repro.unitary ru0 su4 <hex>  // matrix pragma per distinct UnitaryGate
+    opaque ru0 a,b;
+    qreg q[N];
+    <one line per instruction>
+
+Gates with no qelib1 definition (``can``, ``iswap``, ``sqisw``, ``b``,
+``cv``, ``cvdg``, ``ryy``, ``ccz``) are declared ``opaque`` so external
+parsers see well-formed QASM; this project's importer knows them natively.
+``mcx`` gates are emitted as per-arity ``mcx_<k>`` symbols (k controls,
+target last), each with its own opaque declaration; the importer maps
+them back onto ``mcx_gate(k)``.  :class:`~repro.gates.gate.UnitaryGate`
+instructions are emitted as opaque applications whose exact matrix bytes
+ride in a ``// repro.unitary`` pragma, giving fused SU(4)/SU(8) blocks a
+bit-exact round trip.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import IO, Dict, List, Tuple, Union
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.gates.gate import UnitaryGate
+from repro.qasm.errors import QasmError
+
+__all__ = ["dumps", "dump"]
+
+#: Gate names assumed to be defined by ``qelib1.inc`` (the Qiskit
+#: distribution of the include file) — no declaration is emitted for these.
+_QELIB1_NAMES = frozenset(
+    {
+        "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sxdg",
+        "rx", "ry", "rz", "p", "u1", "u2", "u3", "u",
+        "cx", "cy", "cz", "ch", "cp", "cu1", "cu3", "crz", "swap",
+        "rxx", "rzz", "ccx", "cswap", "c3x", "c4x",
+    }
+)
+
+#: Opaque declarations for this project's extension gates, emitted when used.
+_EXTENSION_DECLS: Dict[str, str] = {
+    "iswap": "opaque iswap a,b;",
+    "sqisw": "opaque sqisw a,b;",
+    "b": "opaque b a,b;",
+    "cv": "opaque cv a,b;",
+    "cvdg": "opaque cvdg a,b;",
+    "ryy": "opaque ryy(theta) a,b;",
+    "can": "opaque can(x,y,z) a,b;",
+    "ccz": "opaque ccz a,b,c;",
+}
+
+#: Human-readable definitions for the extension comment block.
+_EXTENSION_NOTES: Dict[str, str] = {
+    "can": "can(x,y,z) = exp(-i (x XX + y YY + z ZZ)); the ReQISC SU(4) primitive",
+    "sqisw": "sqisw = sqrt(iSWAP)",
+    "b": "b = Can(pi/4, pi/8, 0) (the Berkeley gate)",
+    "cv": "cv = controlled-sqrt(X); cvdg is its adjoint",
+    "cvdg": "cvdg = adjoint of cv",
+    "ryy": "ryy(theta) = exp(-i theta YY / 2)",
+    "iswap": "iswap = the iSWAP gate",
+    "ccz": "ccz = doubly-controlled Z",
+    "mcx": "mcx_<k> = multi-controlled X with k controls (controls first, target last)",
+}
+
+#: Names the emitter knows how to print as plain named-gate lines.
+_NAMED_EMITTABLE = frozenset(
+    {
+        "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx",
+        "rx", "ry", "rz", "p", "u3",
+        "cx", "cy", "cz", "ch", "cp", "crz", "swap", "iswap", "sqisw", "b",
+        "cv", "cvdg", "can", "rxx", "ryy", "rzz",
+        "ccx", "ccz", "cswap", "mcx",
+    }
+)
+
+
+def _format_param(value: float) -> str:
+    """Shortest exact decimal form of ``value`` (parses back bit-identical)."""
+    if not math.isfinite(value):
+        raise QasmError(f"cannot serialize non-finite gate parameter {value!r}")
+    text = repr(float(value))
+    # repr() of negative values starts with '-'; the importer's unary minus
+    # reconstructs the same float, so no special casing is needed.
+    return text
+
+
+def _pragma_symbol(index: int) -> str:
+    return f"ru{index}"
+
+
+def dumps(circuit: QuantumCircuit) -> str:
+    """Serialize ``circuit`` to OpenQASM 2.0 text."""
+    used_names = set()
+    mcx_arities = set()  # control counts, one opaque decl per arity used
+    # Distinct unitary blocks, keyed by (label, exact matrix bytes).
+    unitary_symbols: Dict[Tuple[str, bytes], str] = {}
+    unitary_order: List[Tuple[str, UnitaryGate]] = []
+
+    body: List[str] = []
+    for instruction in circuit:
+        gate = instruction.gate
+        qubits = ",".join(f"q[{q}]" for q in instruction.qubits)
+        if isinstance(gate, UnitaryGate):
+            if not gate.name or not all(33 <= ord(ch) <= 126 for ch in gate.name):
+                raise QasmError(
+                    f"unitary label {gate.name!r} is not serializable "
+                    "(printable, whitespace-free labels only)"
+                )
+            key = (gate.name, gate.matrix.tobytes())
+            symbol = unitary_symbols.get(key)
+            if symbol is None:
+                symbol = _pragma_symbol(len(unitary_symbols))
+                unitary_symbols[key] = symbol
+                unitary_order.append((symbol, gate))
+            body.append(f"{symbol} {qubits};")
+            continue
+        if gate.name not in _NAMED_EMITTABLE:
+            raise QasmError(f"gate {gate.name!r} has no QASM serialization")
+        used_names.add(gate.name)
+        if gate.name == "mcx":
+            controls = gate.num_qubits - 1
+            mcx_arities.add(controls)
+            body.append(f"mcx_{controls} {qubits};")
+        elif gate.params:
+            params = ",".join(_format_param(p) for p in gate.params)
+            body.append(f"{gate.name}({params}) {qubits};")
+        else:
+            body.append(f"{gate.name} {qubits};")
+
+    header: List[str] = ["OPENQASM 2.0;", 'include "qelib1.inc";']
+    extension_names = sorted(used_names - _QELIB1_NAMES)
+    for name in extension_names:
+        note = _EXTENSION_NOTES.get(name)
+        if note:
+            header.append(f"// {note}")
+    for name in extension_names:
+        decl = _EXTENSION_DECLS.get(name)
+        if decl:
+            header.append(decl)
+    for controls in sorted(mcx_arities):
+        formals = ",".join(f"q{i}" for i in range(controls + 1))
+        header.append(f"opaque mcx_{controls} {formals};")
+    for symbol, gate in unitary_order:
+        payload = gate.matrix.tobytes().hex()
+        formals = ",".join(f"q{i}" for i in range(gate.num_qubits))
+        header.append(f"// repro.unitary {symbol} {gate.name} {payload}")
+        header.append(f"opaque {symbol} {formals};")
+    header.append(f"qreg q[{circuit.num_qubits}];")
+    return "\n".join(header + body) + "\n"
+
+
+def dump(circuit: QuantumCircuit, file: Union[str, "os.PathLike[str]", IO[str]]) -> None:
+    """Write ``circuit`` as OpenQASM 2.0 to a path or text file object."""
+    text = dumps(circuit)
+    if hasattr(file, "write"):
+        file.write(text)  # type: ignore[union-attr]
+        return
+    with open(os.fspath(file), "w", encoding="utf-8") as handle:
+        handle.write(text)

@@ -49,15 +49,19 @@ class CompileJob:
     ``target`` is a :class:`~repro.target.target.Target`, a preset name
     (resolved per circuit at compile time) or ``None`` for the default
     device; it must be picklable since jobs cross process boundaries.
+    Jobs submitted as QASM paths carry ``qasm_path`` instead of a circuit;
+    the file is loaded worker-side so a broken corpus file becomes that
+    item's error rather than aborting the whole batch.
     """
 
     index: int
     name: str
-    circuit: QuantumCircuit
+    circuit: Optional[QuantumCircuit]
     compiler: str
     seed: int
     target: Optional[Any] = None
     options: Tuple[Tuple[str, Any], ...] = ()
+    qasm_path: Optional[str] = None
 
 
 @dataclass
@@ -139,6 +143,11 @@ def _compile_job(job: CompileJob, cache: Optional[SynthesisCache]) -> BatchItem:
     before = cache.stats.snapshot() if cache is not None else CacheStats()
     item = BatchItem(index=job.index, name=job.name, compiler=job.compiler, seed=job.seed)
     try:
+        circuit = job.circuit
+        if circuit is None:
+            from repro.qasm import load
+
+            circuit = load(job.qasm_path)
         registry = build_compilers(
             [job.compiler],
             seed=job.seed,
@@ -146,7 +155,7 @@ def _compile_job(job: CompileJob, cache: Optional[SynthesisCache]) -> BatchItem:
             target=job.target,
             **dict(job.options),
         )
-        item.result = registry[job.compiler].compile(job.circuit)
+        item.result = registry[job.compiler].compile(circuit)
     except Exception as exc:  # noqa: BLE001 — batch items report, not crash
         item.error = f"{type(exc).__name__}: {exc}"
     if cache is not None:
@@ -209,9 +218,13 @@ class BatchCompiler:
         """Compile every entry of ``circuits`` and collect ordered results.
 
         Entries may be :class:`QuantumCircuit` objects, ``(name, circuit)``
-        pairs, or any object with ``.circuit`` (and optionally ``.name``)
-        attributes — in particular
-        :class:`~repro.workloads.suite.BenchmarkCase`.
+        pairs, paths to OpenQASM 2.0 files (``str``/``os.PathLike``, loaded
+        via :func:`repro.qasm.load` and named after the file stem), or any
+        object with ``.circuit`` (and optionally ``.name``) attributes — in
+        particular :class:`~repro.workloads.suite.BenchmarkCase`.  A circuit
+        submitted as QASM compiles bit-identically to the same circuit
+        submitted in memory: the importer reconstructs the exact gate list
+        and the synthesis cache keys on exact matrix bytes either way.
         """
         jobs = self._normalize(circuits)
         start = time.perf_counter()
@@ -253,9 +266,18 @@ class BatchCompiler:
     def _normalize(self, circuits: Iterable[Any]) -> List[CompileJob]:
         options = tuple(sorted(self.compiler_options.items()))
         jobs: List[CompileJob] = []
+        import os
+
         for index, entry in enumerate(circuits):
+            qasm_path = None
             if isinstance(entry, QuantumCircuit):
                 name, circuit = entry.name, entry
+            elif isinstance(entry, (str, os.PathLike)):
+                # Loaded worker-side (see CompileJob) so one broken corpus
+                # file fails its own item, not the batch.
+                qasm_path = os.fspath(entry)
+                circuit = None
+                name = os.path.splitext(os.path.basename(qasm_path))[0] or qasm_path
             elif hasattr(entry, "circuit"):
                 circuit = entry.circuit
                 name = getattr(entry, "name", circuit.name)
@@ -270,6 +292,7 @@ class BatchCompiler:
                     seed=self.seed + index,
                     target=self.target,
                     options=options,
+                    qasm_path=qasm_path,
                 )
             )
         return jobs

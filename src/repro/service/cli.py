@@ -7,7 +7,9 @@ registered compilers (``reqisc-full`` / ``reqisc-eff`` / baselines, see
 
 ``compile``
     Compile one workload (or an OpenQASM 2.0 file) with one compiler and
-    print its summary row plus per-pass statistics.
+    print its summary row plus per-pass statistics.  ``repro compile
+    prog.qasm`` ingests an external program; ``--emit qasm`` prints the
+    compiled circuit as OpenQASM 2.0 instead of the summary.
 
 ``bench``
     Compile one workload with several compilers and report each compiler's
@@ -45,10 +47,12 @@ disk.
 Examples::
 
     python -m repro compile --workload qft --compiler reqisc-full
+    python -m repro compile prog.qasm --emit qasm --output compiled.qasm
     python -m repro bench --workload tof --compilers qiskit-like,reqisc-eff
     python -m repro suite --compiler reqisc-eff --workload qft --json
     python -m repro suite --compiler reqisc-full --scale tiny --workers 4 --csv
     python -m repro suite --compiler reqisc-eff --target xy-line --format json
+    python -m repro suite --compiler reqisc-eff --qasm a.qasm --qasm b.qasm
     python -m repro targets
 """
 
@@ -60,7 +64,7 @@ import io
 import json
 import sys
 import time
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["build_parser", "main"]
 
@@ -92,6 +96,10 @@ def _normalize_output_format(args: argparse.Namespace) -> None:
         args.json = True
     elif fmt == "csv":
         args.csv = True
+    if getattr(args, "emit", "summary") == "qasm" and (
+        getattr(args, "json", False) or getattr(args, "csv", False)
+    ):
+        raise SystemExit("--emit qasm produces OpenQASM text; it cannot be combined with --json/--csv/--format")
 
 
 def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
@@ -109,6 +117,19 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
         help="in-memory cache entries before LRU eviction (default: 4096)",
     )
     parser.add_argument("--no-cache", action="store_true", help="disable the synthesis cache")
+
+
+def _add_emit_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--emit",
+        choices=("summary", "qasm"),
+        default="summary",
+        help=(
+            "output payload: 'summary' (default) for metric rows, 'qasm' to "
+            "print the compiled circuit(s) as OpenQASM 2.0 (with --output "
+            "pointing at an existing directory, one .qasm file per program)"
+        ),
+    )
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -131,6 +152,7 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     )
     _add_cache_arguments(parser)
     _add_output_arguments(parser)
+    _add_emit_argument(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -144,7 +166,13 @@ def build_parser() -> argparse.ArgumentParser:
     compile_parser = subparsers.add_parser(
         "compile", help="compile one workload (or QASM file) with one compiler"
     )
-    source = compile_parser.add_mutually_exclusive_group(required=True)
+    compile_parser.add_argument(
+        "source",
+        nargs="?",
+        metavar="SOURCE",
+        help="benchmark category, or a path to an OpenQASM 2.0 file (*.qasm)",
+    )
+    source = compile_parser.add_mutually_exclusive_group(required=False)
     source.add_argument("--workload", metavar="NAME", help="benchmark category to compile")
     source.add_argument("--qasm", metavar="PATH", help="OpenQASM 2.0 file to compile")
     compile_parser.add_argument(
@@ -182,6 +210,12 @@ def build_parser() -> argparse.ArgumentParser:
     suite_parser.add_argument(
         "--max-qubits", type=int, default=None, metavar="N", help="skip programs larger than N qubits"
     )
+    suite_parser.add_argument(
+        "--qasm",
+        action="append",
+        metavar="PATH",
+        help="add an external OpenQASM 2.0 program to the selection (repeatable)",
+    )
     _add_common_arguments(suite_parser)
 
     list_parser = subparsers.add_parser(
@@ -211,7 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--only",
         metavar="KIND",
         action="append",
-        choices=("compile", "route", "ir", "synthesize", "simulate"),
+        choices=("compile", "route", "ir", "qasm", "synthesize", "simulate"),
         help="restrict to one benchmark kind (repeatable; default: all)",
     )
     perf_parser.add_argument("--seed", type=int, default=42, help="workload seed (default: 42)")
@@ -330,28 +364,89 @@ def _emit(text: str, args: argparse.Namespace) -> None:
         print(text)
 
 
+def _load_qasm_circuit(path: str):
+    """Load a QASM file for the CLI, converting errors to clean exits."""
+    from repro.qasm import QasmError, load
+
+    try:
+        return load(path)
+    except OSError as exc:
+        raise SystemExit(f"cannot read QASM file {path!r}: {exc}")
+    except QasmError as exc:
+        raise SystemExit(f"invalid QASM in {path!r}: {exc}")
+
+
+def _emit_qasm_sections(sections: List[Tuple[str, str]], args: argparse.Namespace) -> None:
+    """Emit ``(name, qasm_text)`` sections; a directory --output gets one
+    ``<name>.qasm`` file per section, anything else a concatenated stream."""
+    import os
+    import re
+
+    output = getattr(args, "output", None)
+    if output and os.path.isdir(output):
+        taken: set = set()
+        for name, text in sections:
+            safe = re.sub(r"[^A-Za-z0-9._-]+", "_", name) or "circuit"
+            # Sanitizing can collide distinct section names; never overwrite.
+            candidate = safe
+            serial = 1
+            while candidate in taken:
+                candidate = f"{safe}-{serial}"
+                serial += 1
+            taken.add(candidate)
+            path = os.path.join(output, f"{candidate}.qasm")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote {path}", file=sys.stderr)
+        return
+    blocks = []
+    for name, text in sections:
+        prefix = f"// == {name} ==\n" if len(sections) > 1 else ""
+        blocks.append(prefix + text.rstrip("\n"))
+    _emit("\n".join(blocks), args)
+
+
 # ---------------------------------------------------------------------------
 # Subcommand implementations.
 # ---------------------------------------------------------------------------
+
+
+def _resolve_compile_source(args: argparse.Namespace) -> Tuple[Any, str]:
+    """Resolve the compile subcommand's circuit from SOURCE/--workload/--qasm."""
+    import os
+
+    source = getattr(args, "source", None)
+    if source and (args.workload or args.qasm):
+        raise SystemExit("give either a positional SOURCE or --workload/--qasm, not both")
+    if source:
+        # Resolution order: an explicit .qasm suffix always means a file;
+        # a known workload name always means the workload (so a stray file
+        # or directory in cwd named `qft` cannot hijack the command); any
+        # other existing regular file is read as QASM.
+        from repro.workloads.suite import suite_categories
+
+        if source.endswith(".qasm"):
+            args.qasm = source
+        elif source in suite_categories():
+            args.workload = source
+        elif os.path.isfile(source):
+            args.qasm = source
+        else:
+            args.workload = source
+    if args.qasm:
+        circuit = _load_qasm_circuit(args.qasm)
+        return circuit, circuit.name
+    if not args.workload:
+        raise SystemExit("nothing to compile: give a SOURCE, --workload or --qasm")
+    case = _load_workload(args.workload, args.scale)
+    return case.circuit, case.name
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
     from repro.experiments.common import build_compilers
 
     cache = _make_cache(args)
-    if args.qasm:
-        from repro.circuits.qasm import qasm_to_circuit
-
-        try:
-            with open(args.qasm, "r", encoding="utf-8") as handle:
-                text = handle.read()
-        except OSError as exc:
-            raise SystemExit(f"cannot read QASM file {args.qasm!r}: {exc}")
-        circuit = qasm_to_circuit(text)
-        name = args.qasm
-    else:
-        case = _load_workload(args.workload, args.scale)
-        circuit, name = case.circuit, case.name
+    circuit, name = _resolve_compile_source(args)
 
     target = _target_argument(args)
     start = time.perf_counter()
@@ -360,6 +455,12 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     )
     result = registry[args.compiler].compile(circuit)
     elapsed = time.perf_counter() - start
+
+    if args.emit == "qasm":
+        from repro.qasm import dumps
+
+        _emit_qasm_sections([(name, dumps(result.circuit))], args)
+        return 0
 
     row: Dict[str, Any] = {"benchmark": name, "num_qubits": circuit.num_qubits}
     row.update(result.summary())
@@ -411,6 +512,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     start = time.perf_counter()
     registry = build_compilers(names, seed=args.seed, synthesis_cache=cache, target=target)
     rows: List[Dict[str, Any]] = []
+    if args.emit == "qasm":
+        from repro.qasm import dumps
+
+        sections = [
+            (f"{case.name} [{name}]", dumps(registry[name].compile(case.circuit).circuit))
+            for name in names
+        ]
+        _emit_qasm_sections(sections, args)
+        return 0
     for name in names:
         result = registry[name].compile(case.circuit)
         # ``summary()`` is ISA-aware (CNOT pulse for CNOT-ISA baselines,
@@ -452,8 +562,31 @@ def _cmd_suite(args: argparse.Namespace) -> int:
                 raise SystemExit(
                     f"unknown workload {category!r}; available: {', '.join(known)}"
                 )
-    cases = benchmark_suite(scale=args.scale, categories=categories, max_qubits=args.max_qubits)
+    cases: List[Any] = []
+    if categories or not args.qasm:
+        cases.extend(
+            benchmark_suite(scale=args.scale, categories=categories, max_qubits=args.max_qubits)
+        )
+    # A broken corpus file fails like a broken compile: its own error entry,
+    # never the whole batch (the suite contract).
+    qasm_errors: List[Tuple[str, str]] = []
+    if args.qasm:
+        import os
+
+        from repro.qasm import QasmError
+        from repro.workloads.suite import qasm_cases
+
+        for path in args.qasm:
+            try:
+                cases.extend(qasm_cases([path], max_qubits=args.max_qubits))
+            except (OSError, QasmError) as exc:
+                stem = os.path.splitext(os.path.basename(path))[0] or path
+                qasm_errors.append((stem, str(exc)))
     if not cases:
+        if qasm_errors:
+            for name, message in qasm_errors:
+                print(f"ERROR {name}: {message}", file=sys.stderr)
+            return 1
         raise SystemExit("the requested suite selection is empty")
 
     target = _target_argument(args)
@@ -465,6 +598,19 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         target=target,
     )
     batch = engine.compile_all(cases)
+
+    if args.emit == "qasm":
+        from repro.qasm import dumps
+
+        sections = [
+            (item.name, dumps(item.result.circuit))
+            for item in batch.items
+            if item.result is not None
+        ]
+        _emit_qasm_sections(sections, args)
+        for name, message in qasm_errors + list(batch.errors):
+            print(f"ERROR {name}: {message}", file=sys.stderr)
+        return 1 if (batch.errors or qasm_errors) else 0
 
     rows: List[Dict[str, Any]] = []
     for case, item in zip(cases, batch.items):
@@ -487,12 +633,12 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         "workers": args.workers,
         "seed": args.seed,
         "rows": rows,
-        "errors": list(batch.errors),
+        "errors": qasm_errors + list(batch.errors),
         "cache": batch.cache_stats.as_dict() if cache else None,
         "elapsed_seconds": batch.elapsed_seconds,
     }
     _emit(_render(report, rows, args), args)
-    return 1 if batch.errors else 0
+    return 1 if (batch.errors or qasm_errors) else 0
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -565,6 +711,14 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             print(
                 "equivalence: {cases} suite programs at scale={scale}, "
                 "bit_identical={bit_identical}".format(**equivalence)
+            )
+        qasm_section = report.get("qasm")
+        if qasm_section:
+            print(
+                "qasm: {cases} programs at scale={scale}, "
+                "dump {dump_gates_per_second:.0f} gates/s, "
+                "load {load_gates_per_second:.0f} gates/s, "
+                "bit_identical={bit_identical}".format(**qasm_section)
             )
         ir_section = report.get("ir")
         if ir_section:

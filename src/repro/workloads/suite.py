@@ -14,7 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.circuits.circuit import QuantumCircuit
 from repro.workloads import algorithms, arithmetic, reversible
 
-__all__ = ["BenchmarkCase", "benchmark_suite", "suite_categories"]
+__all__ = ["BenchmarkCase", "benchmark_suite", "qasm_cases", "suite_categories"]
 
 
 @dataclass
@@ -71,6 +71,33 @@ _VARIATIONAL = {"qaoa", "uccsd", "pf"}
 def suite_categories() -> List[str]:
     """Names of the Table 1 benchmark categories."""
     return sorted(_builders("small"))
+
+
+def qasm_cases(
+    paths: Sequence,
+    max_qubits: Optional[int] = None,
+) -> List[BenchmarkCase]:
+    """Load external OpenQASM 2.0 files as benchmark cases.
+
+    Each path becomes a :class:`BenchmarkCase` in category ``"qasm"``,
+    named after the file stem — the ingestion point for external corpora
+    (MQT Bench, QASMBench, Qiskit exports).  Parse problems surface as
+    :class:`~repro.qasm.QasmError` carrying the filename and source
+    position.
+    """
+    import os
+
+    from repro.qasm import load
+
+    if isinstance(paths, (str, os.PathLike)):
+        paths = [paths]
+    cases: List[BenchmarkCase] = []
+    for path in paths:
+        circuit = load(path)
+        if max_qubits is not None and circuit.num_qubits > max_qubits:
+            continue
+        cases.append(BenchmarkCase(name=circuit.name, category="qasm", circuit=circuit))
+    return cases
 
 
 def benchmark_suite(

@@ -202,11 +202,15 @@ def test_qasm_parser_handles_pi_expressions():
     assert circuit[0].gate.params[0] == pytest.approx(math.pi / 2)
 
 
-def test_qasm_rejects_unitary_blocks():
+def test_qasm_unitary_blocks_roundtrip_bit_exact():
+    # Fused unitary blocks ride a `// repro.unitary` matrix pragma and come
+    # back bit-identical (same label, exact matrix bytes).
     circuit = QuantumCircuit(2)
-    circuit.unitary(haar_random_unitary(4, 5), [0, 1])
-    with pytest.raises(ValueError):
-        circuit_to_qasm(circuit)
+    circuit.unitary(haar_random_unitary(4, 5), [0, 1], label="su4")
+    text = circuit_to_qasm(circuit)
+    assert "repro.unitary" in text
+    parsed = qasm_to_circuit(text)
+    assert parsed.instructions == circuit.instructions
 
 
 def test_qasm_rejects_unknown_gate():

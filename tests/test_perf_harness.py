@@ -64,10 +64,12 @@ def test_run_perf_schema_and_file(tmp_path):
         "routing",
         "equivalence",
         "ir",
+        "qasm",
         "cache",
     }
     assert report["routing"] is None  # route kind not selected
     assert report["ir"] is None  # ir kind not selected
+    assert report["qasm"] is None  # qasm kind not selected
     for record in report["benchmarks"]:
         assert set(record) == _RECORD_KEYS
         assert record["wall_seconds"] >= 0.0
@@ -99,6 +101,21 @@ def test_bench_ir_conversion_drop_and_bit_identity():
     names = [record.name for record in records]
     assert len(names) == len(set(names))
     assert all(record.kind == "ir" for record in records)
+
+
+def test_bench_qasm_throughput_and_round_trip_gate():
+    from repro.perf.harness import bench_qasm
+
+    records, section = bench_qasm(scale="tiny", repeats=1)
+    assert section["bit_identical"] is True
+    assert section["mismatches"] == []
+    assert section["cases"] > 0
+    assert section["gates"] > 0
+    assert section["dump_gates_per_second"] > 0
+    assert section["load_gates_per_second"] > 0
+    assert [record.name for record in records] == ["qasm.dump.tiny", "qasm.load.tiny"]
+    assert all(record.kind == "qasm" for record in records)
+    assert all(record.gates == section["gates"] for record in records)
 
 
 def test_cli_perf_writes_bench_json(tmp_path, capsys):

@@ -212,3 +212,74 @@ def test_template_pass_memoizes_whole_output():
     fourth = pass_.run(renamed, {})
     assert cache.stats.hits >= 2
     assert fourth.name == "other_name"
+
+
+def test_batch_accepts_qasm_paths_bit_identical_to_in_memory(tmp_path):
+    # Regression for the interchange invariant at the service layer: a
+    # circuit submitted as a .qasm path must compile bit-identically to the
+    # same circuit submitted as an in-memory object (same seed, same cache
+    # keys — the importer reconstructs the exact gate list).
+    from repro.qasm import dump
+    from repro.workloads.suite import benchmark_suite
+
+    case = benchmark_suite(scale="tiny", categories=["qft"])[0]
+    path = tmp_path / "qft_twin.qasm"
+    dump(case.circuit, path)
+
+    engine = BatchCompiler(compiler="reqisc-eff", seed=7)
+    in_memory = engine.compile_all([case.circuit])
+    from_path = engine.compile_all([str(path)])
+
+    assert from_path.errors == []
+    assert from_path.items[0].name == "qft_twin"
+    assert _circuits_identical(
+        in_memory.items[0].result.circuit, from_path.items[0].result.circuit
+    )
+    summary_a = in_memory.items[0].result.summary()
+    summary_b = from_path.items[0].result.summary()
+    for key in ("num_2q", "depth_2q", "distinct_2q", "duration"):
+        assert summary_a[key] == summary_b[key]
+
+
+def test_batch_accepts_mixed_entries(tmp_path):
+    from repro.qasm import dump
+    from repro.workloads.suite import benchmark_suite, qasm_cases
+
+    cases = benchmark_suite(scale="tiny", categories=["qft", "grover"])
+    path = tmp_path / "mixed.qasm"
+    dump(cases[1].circuit, path)
+
+    loaded = qasm_cases([path])
+    assert len(loaded) == 1 and loaded[0].category == "qasm"
+
+    engine = BatchCompiler(compiler="reqisc-eff", seed=0)
+    batch = engine.compile_all([cases[0], str(path), cases[1].circuit])
+    assert batch.errors == []
+    assert [item.name for item in batch.items] == [cases[0].name, "mixed", cases[1].name]
+
+
+def test_broken_qasm_path_fails_its_item_not_the_batch(tmp_path):
+    from repro.workloads.suite import benchmark_suite
+
+    case = benchmark_suite(scale="tiny", categories=["qft"])[0]
+    broken = tmp_path / "broken.qasm"
+    broken.write_text("qreg q[1];\nfrobnicate q[0];\n")
+    missing = tmp_path / "missing.qasm"
+
+    engine = BatchCompiler(compiler="reqisc-eff", seed=0)
+    batch = engine.compile_all([case.circuit, str(broken), str(missing)])
+    assert batch.items[0].ok
+    assert not batch.items[1].ok and "frobnicate" in batch.items[1].error
+    assert not batch.items[2].ok
+    assert [name for name, _ in batch.errors] == ["broken", "missing"]
+
+
+def test_qasm_cases_accepts_a_bare_path(tmp_path):
+    from repro.qasm import dump
+    from repro.workloads.suite import benchmark_suite, qasm_cases
+
+    case = benchmark_suite(scale="tiny", categories=["qft"])[0]
+    path = tmp_path / "single.qasm"
+    dump(case.circuit, path)
+    cases = qasm_cases(str(path))  # not wrapped in a list
+    assert len(cases) == 1 and cases[0].name == "single"

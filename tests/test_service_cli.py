@@ -160,3 +160,137 @@ def test_parser_rejects_json_and_csv_together():
     parser = build_parser()
     with pytest.raises(SystemExit):
         parser.parse_args(["suite", "--json", "--csv"])
+
+
+_BELL_QASM = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q -> c;
+"""
+
+
+def test_compile_positional_qasm_source_emit_qasm(tmp_path, capsys):
+    path = tmp_path / "bell.qasm"
+    path.write_text(_BELL_QASM)
+    code, out = _run(capsys, "compile", str(path), "--compiler", "reqisc-eff",
+                     "--no-cache", "--emit", "qasm")
+    assert code == 0
+    assert out.startswith("OPENQASM 2.0;")
+    # The emitted text is itself ingestible (closed loop).
+    from repro.qasm import loads
+
+    compiled = loads(out)
+    assert compiled.num_qubits == 2
+    assert len(compiled) > 0
+
+
+def test_compile_positional_workload_source(tmp_path, capsys):
+    code, out = _run(capsys, "compile", "qft", "--compiler", "reqisc-eff",
+                     "--scale", "tiny", "--json", "--no-cache")
+    assert code == 0
+    assert json.loads(out)["rows"][0]["benchmark"] == "qft_4"
+
+
+def test_compile_source_conflicts_with_flags(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["compile", "qft", "--workload", "qft", "--no-cache"])
+    with pytest.raises(SystemExit):
+        main(["compile", "--no-cache"])
+
+
+def test_compile_invalid_qasm_fails_cleanly(tmp_path):
+    path = tmp_path / "broken.qasm"
+    path.write_text("qreg q[1];\nfrobnicate q[0];\n")
+    with pytest.raises(SystemExit, match="invalid QASM"):
+        main(["compile", str(path), "--no-cache"])
+
+
+def test_suite_with_external_qasm_programs(tmp_path, capsys):
+    path = tmp_path / "bell.qasm"
+    path.write_text(_BELL_QASM)
+    code, out = _run(capsys, "suite", "--compiler", "reqisc-eff",
+                     "--qasm", str(path), "--json", "--no-cache")
+    assert code == 0
+    report = json.loads(out)
+    assert report["errors"] == []
+    assert len(report["rows"]) == 1
+    assert report["rows"][0]["category"] == "qasm"
+    assert report["rows"][0]["benchmark"] == "bell"
+
+
+def test_suite_emit_qasm_to_directory(tmp_path, capsys):
+    outdir = tmp_path / "corpus"
+    outdir.mkdir()
+    code, _ = _run(capsys, "suite", "--compiler", "reqisc-eff",
+                   "--workload", "qft", "--scale", "tiny", "--no-cache",
+                   "--emit", "qasm", "--output", str(outdir))
+    assert code == 0
+    files = sorted(outdir.glob("*.qasm"))
+    assert [f.name for f in files] == ["qft_4.qasm"]
+    from repro.qasm import load
+
+    assert len(load(files[0])) > 0
+
+
+def test_bench_emit_qasm_sections(tmp_path, capsys):
+    code, out = _run(capsys, "bench", "--workload", "qft", "--scale", "tiny",
+                     "--compilers", "qiskit-like,reqisc-eff", "--no-cache",
+                     "--emit", "qasm")
+    assert code == 0
+    assert out.count("OPENQASM 2.0;") == 2
+    assert "// == qft_4 [qiskit-like] ==" in out
+    assert "// == qft_4 [reqisc-eff] ==" in out
+
+
+def test_compile_workload_name_beats_stray_file(tmp_path, capsys, monkeypatch):
+    # A file or directory in cwd named like a workload must not hijack the
+    # positional SOURCE resolution.
+    (tmp_path / "qft").mkdir()
+    monkeypatch.chdir(tmp_path)
+    code, out = _run(capsys, "compile", "qft", "--compiler", "reqisc-eff",
+                     "--scale", "tiny", "--json", "--no-cache")
+    assert code == 0
+    assert json.loads(out)["rows"][0]["benchmark"] == "qft_4"
+
+
+def test_emit_qasm_directory_never_overwrites_on_name_collision(tmp_path, capsys):
+    path_a = tmp_path / "bell.qasm"
+    path_a.write_text(_BELL_QASM)
+    sub = tmp_path / "sub"
+    sub.mkdir()
+    path_b = sub / "bell.qasm"  # same stem -> same sanitized name
+    path_b.write_text(_BELL_QASM)
+    outdir = tmp_path / "out"
+    outdir.mkdir()
+    code, _ = _run(capsys, "suite", "--compiler", "reqisc-eff",
+                   "--qasm", str(path_a), "--qasm", str(path_b), "--no-cache",
+                   "--emit", "qasm", "--output", str(outdir))
+    assert code == 0
+    assert sorted(f.name for f in outdir.glob("*.qasm")) == ["bell-1.qasm", "bell.qasm"]
+
+
+def test_emit_qasm_rejects_conflicting_format_flags(tmp_path):
+    path = tmp_path / "bell.qasm"
+    path.write_text(_BELL_QASM)
+    for flag in (["--json"], ["--csv"], ["--format", "json"]):
+        with pytest.raises(SystemExit, match="cannot be combined"):
+            main(["compile", str(path), "--no-cache", "--emit", "qasm", *flag])
+
+
+def test_suite_broken_qasm_file_is_an_error_entry_not_an_abort(tmp_path, capsys):
+    good = tmp_path / "good.qasm"
+    good.write_text(_BELL_QASM)
+    broken = tmp_path / "broken.qasm"
+    broken.write_text("qreg q[1];\nfrobnicate q[0];\n")
+    code, out = _run(capsys, "suite", "--compiler", "reqisc-eff",
+                     "--qasm", str(good), "--qasm", str(broken),
+                     "--json", "--no-cache")
+    assert code == 1
+    report = json.loads(out)
+    assert [row["benchmark"] for row in report["rows"]] == ["good"]
+    assert len(report["errors"]) == 1
+    assert report["errors"][0][0] == "broken"
+    assert "frobnicate" in report["errors"][0][1]

@@ -5,8 +5,9 @@ Used by CI two ways:
 
 * ``compare_bench.py --self-check FRESH.json`` — validate one report:
   every bit-identity section present must be ``true`` (a routing /
-  equivalence / IR / QASM-round-trip mismatch is a correctness bug) and
-  the schema must match the harness this checkout ships.
+  equivalence / IR / QASM-round-trip / serve-vs-sequential mismatch is a
+  correctness bug) and the schema must match the harness this checkout
+  ships.
 * ``compare_bench.py COMMITTED.json FRESH.json`` — the nightly gate:
   self-check the fresh report, **hard-fail** on schema drift between the
   two reports or on any bit-identity regression, and print an
@@ -26,7 +27,7 @@ import sys
 from typing import Any, Dict, List, Tuple
 
 #: Report sections whose ``bit_identical`` flag gates the build.
-BIT_IDENTITY_SECTIONS = ("routing", "equivalence", "ir", "qasm")
+BIT_IDENTITY_SECTIONS = ("routing", "equivalence", "ir", "qasm", "serve")
 
 
 def load_report(path: str) -> Dict[str, Any]:

@@ -16,10 +16,10 @@ measurement methodology of the systems papers this repo tracks:
   the baseline, and the equivalence sweep re-checks that over the whole
   workload suite.
 
-Report schema (``schema = "repro-perf/3"``)::
+Report schema (``schema = "repro-perf/4"``)::
 
     {
-      "schema": "repro-perf/3",
+      "schema": "repro-perf/4",
       "created_unix": <float>,            # seconds since epoch
       "quick": <bool>,                    # quick mode (CI smoke) or full
       "seed": <int>,
@@ -51,6 +51,17 @@ Report schema (``schema = "repro-perf/3"``)::
         "dump_gates_per_second": float, "load_gates_per_second": float,
         "bit_identical": bool,                    # from_qasm(to_qasm(c)) == c
         "mismatches": [str, ...]},
+      "serve": {                          # repro serve daemon under load
+        "scale": str, "compiler": str, "cases": int, "requests": int,
+        "completed": int, "clients": int, "workers": int,
+        "errors": [str, ...],
+        "offered_rate_jobs_per_second": float,    # open-loop arrival rate
+        "throughput_jobs_per_second": float,      # completed / wall
+        "latency_p50_ms": float, "latency_p99_ms": float,
+        "dedup": {"compiles_started": int, "dedup_inflight": int,
+                  "dedup_result_cache": int},
+        "bit_identical": bool,                    # daemon == sequential compile
+        "mismatches": [str, ...]},
       "cache": {"synthesis": {...} | None,        # CacheStats.as_dict()
                 "gate_matrix": {...}}             # matrix_cache_stats()
     }
@@ -77,6 +88,7 @@ __all__ = [
     "bench_compile",
     "bench_ir",
     "bench_qasm",
+    "bench_serve",
     "bench_synthesize",
     "bench_simulate",
     "routing_equivalence",
@@ -84,7 +96,7 @@ __all__ = [
     "write_report",
 ]
 
-SCHEMA_VERSION = "repro-perf/3"
+SCHEMA_VERSION = "repro-perf/4"
 
 #: Workload categories exercised by the compile benchmark (a representative
 #: slice; the full suite is covered by the equivalence sweep).
@@ -483,6 +495,169 @@ def bench_qasm(scale: str = "small", repeats: int = 3) -> Tuple[List[PerfRecord]
     return records, section
 
 
+def bench_serve(
+    scale: str = "tiny",
+    compiler: str = "reqisc-eff",
+    seed: int = 0,
+    clients: int = 4,
+    workers: int = 2,
+    requests_per_circuit: int = 3,
+    offered_rate: float = 50.0,
+) -> Tuple[List[PerfRecord], Dict[str, Any]]:
+    """Drive a live ``repro serve`` daemon with an open-loop load generator.
+
+    Starts a real :class:`~repro.service.server.CompileServer` on a private
+    Unix socket and submits every suite program at ``scale``
+    ``requests_per_circuit`` times, round-robin interleaved so identical
+    submissions hit the daemon's dedup layers concurrently.  The generator
+    is open-loop: request arrival times are fixed up front at
+    ``offered_rate`` jobs/sec, and each latency is measured from the
+    *scheduled* arrival — when the daemon falls behind the offered load,
+    the queueing delay counts against it instead of silently slowing the
+    generator down (closed-loop coordination would hide overload).
+    Concurrency is bounded by ``clients`` threads, one socket each.
+
+    The returned section carries sustained throughput (completed jobs/sec),
+    p50/p99 latency, the daemon's dedup counters, and the bit-identity
+    verdict: every compiled program the daemon returned must match a
+    sequential in-process ``compile()`` with the same compiler and seed,
+    byte for byte.
+    """
+    import os
+    import shutil
+    import tempfile
+    import threading
+
+    from repro.experiments.common import build_compilers
+    from repro.qasm import dumps
+    from repro.service.server import CompileServer, ServeClient, ServeConfig
+    from repro.workloads.suite import benchmark_suite
+
+    cases = benchmark_suite(scale=scale)
+    programs = [(case.name, dumps(case.circuit)) for case in cases]
+    schedule = [programs[i % len(programs)] for i in range(len(programs) * requests_per_circuit)]
+    input_gates = sum(len(case.circuit) for case in cases) * requests_per_circuit
+
+    tmp = tempfile.mkdtemp(prefix="repro-serve-bench-")
+    address = os.path.join(tmp, "bench.sock")
+    config = ServeConfig(
+        address=address,
+        workers=workers,
+        max_pending=max(256, len(schedule)),
+        job_timeout=120.0,
+        cache_dir=None,
+    )
+    latencies: List[float] = []
+    responses: Dict[str, str] = {}
+    errors: List[str] = []
+    lock = threading.Lock()
+
+    try:
+        with CompileServer(config):
+            epoch = time.perf_counter() + 0.05
+            arrivals = [epoch + index / offered_rate for index in range(len(schedule))]
+            cursor = iter(range(len(schedule)))
+
+            def run_client() -> None:
+                client = ServeClient(address, timeout=300.0)
+                try:
+                    while True:
+                        with lock:
+                            index = next(cursor, None)
+                        if index is None:
+                            return
+                        name, qasm = schedule[index]
+                        delay = arrivals[index] - time.perf_counter()
+                        if delay > 0:
+                            time.sleep(delay)
+                        try:
+                            response = client.compile(qasm, compiler=compiler, seed=seed)
+                        except Exception as exc:  # noqa: BLE001 — report, keep loading
+                            with lock:
+                                errors.append(f"{name}: {exc}")
+                            continue
+                        latency = time.perf_counter() - arrivals[index]
+                        with lock:
+                            latencies.append(latency)
+                            responses.setdefault(name, response["qasm"])
+                finally:
+                    client.close()
+
+            threads = [
+                threading.Thread(target=run_client, name=f"serve-load-{i}")
+                for i in range(clients)
+            ]
+            wall_start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - wall_start
+
+            probe = ServeClient(address)
+            try:
+                snapshot = probe.stats()
+            finally:
+                probe.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    # Determinism gate: the daemon's output for every program must be byte-
+    # identical to a plain sequential compile with the same compiler/seed.
+    registry = build_compilers([compiler], seed=seed)
+    mismatches: List[str] = []
+    for case in cases:
+        expected = dumps(registry[compiler].compile(case.circuit).circuit)
+        if responses.get(case.name) != expected:
+            mismatches.append(case.name)
+
+    completed = len(latencies)
+    latency_ms = sorted(1000.0 * value for value in latencies)
+    percentile = lambda q: float(np.percentile(latency_ms, q)) if latency_ms else float("nan")  # noqa: E731
+    server_stats = snapshot.get("server", {})
+    record = PerfRecord(
+        name=f"serve.{compiler}.{scale}",
+        kind="serve",
+        repeats=1,
+        wall_seconds=wall,
+        mean_seconds=wall,
+        gates=input_gates,
+        extra={
+            "compiler": compiler,
+            "scale": scale,
+            "requests": len(schedule),
+            "completed": completed,
+            "clients": clients,
+            "workers": workers,
+            "throughput_jobs_per_second": completed / wall if wall > 0 else float("inf"),
+            "latency_p50_ms": percentile(50),
+            "latency_p99_ms": percentile(99),
+        },
+    )
+    section = {
+        "scale": scale,
+        "compiler": compiler,
+        "cases": len(cases),
+        "requests": len(schedule),
+        "completed": completed,
+        "clients": clients,
+        "workers": workers,
+        "offered_rate_jobs_per_second": offered_rate,
+        "throughput_jobs_per_second": completed / wall if wall > 0 else float("inf"),
+        "latency_p50_ms": percentile(50),
+        "latency_p99_ms": percentile(99),
+        "dedup": {
+            "compiles_started": server_stats.get("compiles_started", 0),
+            "dedup_inflight": server_stats.get("dedup_inflight", 0),
+            "dedup_result_cache": server_stats.get("dedup_result_cache", 0),
+        },
+        "errors": errors,
+        "bit_identical": not mismatches and not errors,
+        "mismatches": mismatches,
+    }
+    return [record], section
+
+
 def bench_synthesize(count: int = 64, seed: int = 7, repeats: int = 3) -> List[PerfRecord]:
     """KAK-decompose a batch of Haar-random SU(4) matrices."""
     from repro.linalg.random import haar_random_su4
@@ -581,11 +756,11 @@ def run_perf(
     ``quick`` trims repeats and workload scale for CI smoke runs; the
     acceptance-scale routing benchmark (>=64 qubits, >=2000 gates, anchored
     baseline) runs in both modes.  ``kinds`` restricts to a subset of
-    ``{"compile", "route", "ir", "qasm", "synthesize", "simulate"}``.
+    ``{"compile", "route", "ir", "qasm", "serve", "synthesize", "simulate"}``.
     """
     from repro.gates.gate import matrix_cache_stats, reset_matrix_cache_stats
 
-    all_kinds = {"compile", "route", "ir", "qasm", "synthesize", "simulate"}
+    all_kinds = {"compile", "route", "ir", "qasm", "serve", "synthesize", "simulate"}
     selected = set(kinds) if kinds else set(all_kinds)
     unknown = selected - all_kinds
     if unknown:
@@ -599,6 +774,7 @@ def run_perf(
     equivalence: Optional[Dict[str, Any]] = None
     ir_section: Optional[Dict[str, Any]] = None
     qasm_section: Optional[Dict[str, Any]] = None
+    serve_section: Optional[Dict[str, Any]] = None
 
     if "route" in selected:
         route_records, routing = bench_route(
@@ -625,6 +801,17 @@ def run_perf(
             scale="tiny" if quick else "medium", repeats=repeats
         )
         records.extend(qasm_records)
+    if "serve" in selected:
+        # Quick mode keeps the load run under a couple of seconds; full mode
+        # offers more repeats per circuit so the dedup layers carry real load.
+        serve_records, serve_section = bench_serve(
+            scale="tiny" if quick else "small",
+            seed=0,
+            clients=4 if quick else 6,
+            requests_per_circuit=2 if quick else 4,
+            offered_rate=40.0 if quick else 60.0,
+        )
+        records.extend(serve_records)
     if "synthesize" in selected:
         records.extend(bench_synthesize(count=16 if quick else 64, repeats=repeats))
     if "simulate" in selected:
@@ -645,6 +832,7 @@ def run_perf(
         "equivalence": equivalence,
         "ir": ir_section,
         "qasm": qasm_section,
+        "serve": serve_section,
         "cache": {
             "synthesis": synthesis_cache,
             "gate_matrix": matrix_cache_stats(),

@@ -12,14 +12,35 @@ plus a context tag, never by object identity.
 Two storage tiers are provided:
 
 * an in-memory LRU dictionary (always on, bounded by ``capacity``), and
-* an optional on-disk store (one pickle per entry under ``directory``) that
-  persists results across processes and across CLI invocations — this is what
-  makes a *second* ``python -m repro suite`` run measurably faster.
+* an optional on-disk store under ``directory`` that persists results across
+  processes and across CLI invocations — this is what makes a *second*
+  ``python -m repro suite`` run measurably faster.
 
 Exact-byte keys guarantee that a cached value is bit-identical to what a
 fresh computation would return, which keeps parallel batch compilation
 (:mod:`repro.service.batch`) deterministic: it can never matter in which
 order worker processes populate the cache.
+
+Disk-tier concurrency model (the ``repro serve`` daemon and batch workers
+hammer one cache directory from many processes at once):
+
+* **Append-only segments.**  Every writer process appends complete records
+  (magic, key, length, CRC32, pickled payload) to its *own* segment file
+  under ``directory/segments/``; no file is ever written by two processes
+  and no byte is ever rewritten.  A process killed mid-append can only
+  leave a truncated *tail*, which readers detect (length/CRC validation)
+  and ignore — earlier records stay readable, so a crash can never corrupt
+  the store for anybody else.
+* **Atomic index swaps.**  A JSON index (key → segment/offset/length plus
+  per-segment scan high-water marks) is periodically published via
+  write-temp-then-``os.replace``, so readers always see either the old or
+  the new index, never a torn one.  The index is a pure accelerator:
+  readers tail-scan segments past their high-water marks, so a stale or
+  missing index costs a re-scan, not a lost entry.
+* **Compaction.**  :meth:`SynthesisCache.compact` folds every live record
+  (including legacy one-pickle-per-entry files from older caches) into a
+  single fresh segment and swaps the index — run it offline (no concurrent
+  writers); concurrent readers degrade to misses, never to corrupt reads.
 
 Usage::
 
@@ -34,16 +55,30 @@ Usage::
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pickle
+import struct
 import threading
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 __all__ = ["CacheStats", "SynthesisCache", "circuit_fingerprint", "unitary_fingerprint"]
+
+#: Segment record header: magic, key length, payload length, CRC32 of
+#: ``key_bytes + payload``.  A record is header + key bytes + payload bytes.
+_RECORD_HEADER = struct.Struct(">4sHQI")
+_RECORD_MAGIC = b"RSC1"
+#: Publish the JSON index every this many puts (pure accelerator — readers
+#: tail-scan segments regardless, see the module docstring).
+_INDEX_PUBLISH_INTERVAL = 64
+_INDEX_NAME = "index.json"
+_SEGMENT_DIR = "segments"
+_SEGMENT_SUFFIX = ".seg"
 
 class _NoneSentinel:
     """Stored in place of ``None`` (negative caching, e.g. "approximate
@@ -170,9 +205,13 @@ class SynthesisCache:
         Maximum number of in-memory entries; the least recently used entry is
         evicted first.  ``None`` disables the bound.
     directory:
-        When given, every entry is additionally pickled to
-        ``directory/<k0k1>/<key>.pkl`` and in-memory misses fall back to the
-        disk store.  The directory is created on first write.
+        When given, every entry is additionally appended to this process's
+        own segment file under ``directory/segments/`` and in-memory misses
+        fall back to the disk store (segments first, then legacy
+        ``directory/<k0k1>/<key>.pkl`` files written by older versions).
+        The directory is created on first write.  The disk tier is safe
+        under concurrent multi-process readers and writers — see the module
+        docstring for the concurrency model.
 
     The cache is thread-safe; cached values must be picklable when the disk
     tier is enabled.
@@ -186,6 +225,15 @@ class SynthesisCache:
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
         self._lock = threading.RLock()
+        # Disk tier state: key -> (segment name, payload offset, payload
+        # length); per-segment scan high-water marks; this process's own
+        # append-only segment (opened lazily on first put).
+        self._seg_index: Dict[str, Tuple[str, int, int]] = {}
+        self._seg_offsets: Dict[str, int] = {}
+        self._own_segment_name: Optional[str] = None
+        self._own_segment_fd: Optional[int] = None
+        self._puts_since_publish = 0
+        self._index_loaded = False
 
     # ------------------------------------------------------------------
     # Container protocol.
@@ -237,6 +285,100 @@ class SynthesisCache:
             if reset_stats:
                 self.stats = CacheStats()
 
+    def flush(self) -> None:
+        """Publish the disk index now (write-temp + atomic rename).
+
+        Appends themselves are durable as soon as :meth:`put` returns; the
+        index only accelerates other processes' lookups.  Long-running
+        writers (the ``repro serve`` workers) call this at shutdown.
+        """
+        with self._lock:
+            if self.directory is None:
+                return
+            self._refresh_segments()
+            self._publish_index()
+
+    def compact(self) -> Dict[str, int]:
+        """Fold every live disk record into one fresh segment.
+
+        Rewrites the newest record per key (including entries from the
+        legacy one-pickle-per-entry layout) into a single segment, swaps the
+        index atomically, then removes the superseded segment files and
+        legacy entries.  Intended as an offline maintenance step: run it
+        without concurrent *writers*; concurrent readers fall back to a
+        miss-and-recompute if a segment vanishes underneath them.
+
+        Returns ``{"entries": ..., "segments_removed": ..., "legacy_removed": ...}``.
+        """
+        with self._lock:
+            if self.directory is None:
+                return {"entries": 0, "segments_removed": 0, "legacy_removed": 0}
+            self._refresh_segments()
+            live: Dict[str, bytes] = {}
+            for key, location in self._seg_index.items():
+                payload = self._read_segment_payload(key, location)
+                if payload is not None:
+                    live[key] = payload
+            legacy = self._scan_legacy_entries()
+            for key, payload in legacy.items():
+                live.setdefault(key, payload)
+
+            segment_dir = os.path.join(self.directory, _SEGMENT_DIR)
+            os.makedirs(segment_dir, exist_ok=True)
+            old_segments = [
+                entry.name
+                for entry in os.scandir(segment_dir)
+                if entry.is_file() and entry.name.endswith(_SEGMENT_SUFFIX)
+            ]
+            # Write the compacted segment to a temp file, fsync, then rename
+            # into place so it appears fully formed or not at all.
+            name = f"compact-{os.getpid()}-{os.urandom(4).hex()}{_SEGMENT_SUFFIX}"
+            final_path = os.path.join(segment_dir, name)
+            tmp_path = f"{final_path}.tmp"
+            index: Dict[str, Tuple[str, int, int]] = {}
+            offset = 0
+            with open(tmp_path, "wb") as handle:
+                for key in sorted(live):
+                    record = self._build_record(key, live[key])
+                    payload_offset = offset + _RECORD_HEADER.size + len(key.encode("utf-8"))
+                    index[key] = (name, payload_offset, len(live[key]))
+                    handle.write(record)
+                    offset += len(record)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, final_path)
+
+            # Swap in the new view, publish, then delete the superseded files.
+            self._close_own_segment()
+            self._seg_index = index
+            self._seg_offsets = {name: offset}
+            self._publish_index()
+            removed = 0
+            for old in old_segments:
+                if old == name:
+                    continue
+                try:
+                    os.unlink(os.path.join(segment_dir, old))
+                    removed += 1
+                except OSError:
+                    pass
+            legacy_removed = self._remove_legacy_entries()
+            return {
+                "entries": len(live),
+                "segments_removed": removed,
+                "legacy_removed": legacy_removed,
+            }
+
+    def close(self) -> None:
+        """Flush the index and close this process's segment file."""
+        with self._lock:
+            if self.directory is not None:
+                try:
+                    self.flush()
+                except OSError:
+                    pass
+            self._close_own_segment()
+
     # ------------------------------------------------------------------
     # Internals.
     # ------------------------------------------------------------------
@@ -260,16 +402,276 @@ class SynthesisCache:
                 self.stats.misses += 1
         return value
 
+    # -- segment plumbing ----------------------------------------------
+
+    def _segment_dir(self) -> Optional[str]:
+        if self.directory is None:
+            return None
+        return os.path.join(self.directory, _SEGMENT_DIR)
+
+    @staticmethod
+    def _build_record(key: str, payload: bytes) -> bytes:
+        key_bytes = key.encode("utf-8")
+        crc = zlib.crc32(key_bytes + payload) & 0xFFFFFFFF
+        return _RECORD_HEADER.pack(_RECORD_MAGIC, len(key_bytes), len(payload), crc) + key_bytes + payload
+
+    def _open_own_segment(self) -> Optional[int]:
+        if self._own_segment_fd is not None:
+            return self._own_segment_fd
+        segment_dir = self._segment_dir()
+        if segment_dir is None:
+            return None
+        os.makedirs(segment_dir, exist_ok=True)
+        # One segment per process (pid + random token survives pid reuse):
+        # no file ever has two writers, so records never interleave.
+        name = f"w-{os.getpid()}-{os.urandom(4).hex()}{_SEGMENT_SUFFIX}"
+        path = os.path.join(segment_dir, name)
+        self._own_segment_fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        self._own_segment_name = name
+        self._seg_offsets.setdefault(name, 0)
+        return self._own_segment_fd
+
+    def _close_own_segment(self) -> None:
+        if self._own_segment_fd is not None:
+            try:
+                os.close(self._own_segment_fd)
+            except OSError:
+                pass
+        self._own_segment_fd = None
+        self._own_segment_name = None
+
+    def _load_published_index(self) -> None:
+        """Seed the in-memory index from the published ``index.json`` (if any).
+
+        The index is advisory: entries are CRC-verified on read, and the
+        recorded high-water marks only tell the tail scan where to start.
+        """
+        self._index_loaded = True
+        if self.directory is None:
+            return
+        path = os.path.join(self.directory, _INDEX_NAME)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            entries = data.get("entries", {})
+            offsets = data.get("segments", {})
+            for key, location in entries.items():
+                name, offset, length = location
+                self._seg_index.setdefault(str(key), (str(name), int(offset), int(length)))
+            for name, offset in offsets.items():
+                self._seg_offsets[str(name)] = max(self._seg_offsets.get(str(name), 0), int(offset))
+        except (OSError, ValueError, TypeError, KeyError):
+            # A missing or unreadable index just means a full tail scan.
+            pass
+
+    def _refresh_segments(self) -> None:
+        """Tail-scan every segment past its high-water mark for new records."""
+        segment_dir = self._segment_dir()
+        if segment_dir is None:
+            return
+        if not self._index_loaded:
+            self._load_published_index()
+        try:
+            names = [
+                entry.name
+                for entry in os.scandir(segment_dir)
+                if entry.is_file() and entry.name.endswith(_SEGMENT_SUFFIX)
+            ]
+        except OSError:
+            return
+        for name in names:
+            start = self._seg_offsets.get(name, 0)
+            path = os.path.join(segment_dir, name)
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                continue
+            if size <= start:
+                continue
+            try:
+                with open(path, "rb") as handle:
+                    handle.seek(start)
+                    data = handle.read(size - start)
+            except OSError:
+                continue
+            consumed = self._scan_records(name, start, data)
+            self._seg_offsets[name] = start + consumed
+
+    def _scan_records(self, segment_name: str, base_offset: int, data: bytes) -> int:
+        """Index every complete, CRC-valid record in ``data``.
+
+        Returns how many bytes were consumed.  Scanning stops at the first
+        incomplete or invalid record: an in-progress append is retried on the
+        next refresh (the offset does not advance past it), and a truncated
+        tail left by a killed writer is permanently ignored.
+        """
+        consumed = 0
+        header_size = _RECORD_HEADER.size
+        while consumed + header_size <= len(data):
+            try:
+                magic, key_len, payload_len, crc = _RECORD_HEADER.unpack_from(data, consumed)
+            except struct.error:
+                break
+            if magic != _RECORD_MAGIC:
+                break
+            end = consumed + header_size + key_len + payload_len
+            if end > len(data):
+                break  # partial tail: retry (or ignore) on the next refresh
+            body = data[consumed + header_size : end]
+            if zlib.crc32(body) & 0xFFFFFFFF != crc:
+                break
+            key = body[:key_len].decode("utf-8", errors="replace")
+            payload_offset = base_offset + consumed + header_size + key_len
+            self._seg_index[key] = (segment_name, payload_offset, payload_len)
+            consumed = end
+        return consumed
+
+    def _read_segment_payload(self, key: str, location: Tuple[str, int, int]) -> Optional[bytes]:
+        """Raw payload bytes for an indexed record, CRC-verified; None if gone."""
+        segment_dir = self._segment_dir()
+        if segment_dir is None:
+            return None
+        name, offset, length = location
+        key_bytes = key.encode("utf-8")
+        try:
+            with open(os.path.join(segment_dir, name), "rb") as handle:
+                handle.seek(offset - len(key_bytes) - _RECORD_HEADER.size)
+                record = handle.read(_RECORD_HEADER.size + len(key_bytes) + length)
+        except OSError:
+            return None
+        if len(record) != _RECORD_HEADER.size + len(key_bytes) + length:
+            return None
+        try:
+            magic, key_len, payload_len, crc = _RECORD_HEADER.unpack_from(record, 0)
+        except struct.error:
+            return None
+        body = record[_RECORD_HEADER.size :]
+        if (
+            magic != _RECORD_MAGIC
+            or key_len != len(key_bytes)
+            or payload_len != length
+            or zlib.crc32(body) & 0xFFFFFFFF != crc
+            or body[:key_len] != key_bytes
+        ):
+            return None
+        return body[key_len:]
+
+    def _publish_index(self) -> None:
+        """Atomically swap ``index.json`` (write-temp + ``os.replace``)."""
+        if self.directory is None:
+            return
+        path = os.path.join(self.directory, _INDEX_NAME)
+        payload = {
+            "version": 1,
+            "segments": dict(self._seg_offsets),
+            "entries": {key: list(loc) for key, loc in self._seg_index.items()},
+        }
+        tmp_path = f"{path}.tmp.{os.getpid()}.{os.urandom(4).hex()}"
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_path, path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+
+    # -- legacy one-pickle-per-entry layout (read-only fallback) -------
+
     def _disk_path(self, key: str) -> Optional[str]:
         if self.directory is None:
             return None
         return os.path.join(self.directory, key[:2], f"{key}.pkl")
 
+    def _scan_legacy_entries(self) -> Dict[str, bytes]:
+        """Raw pickle payloads of every legacy per-entry file (for compaction)."""
+        found: Dict[str, bytes] = {}
+        if self.directory is None:
+            return found
+        try:
+            shards = [
+                entry.name
+                for entry in os.scandir(self.directory)
+                if entry.is_dir() and len(entry.name) == 2 and entry.name != _SEGMENT_DIR
+            ]
+        except OSError:
+            return found
+        for shard in shards:
+            try:
+                names = os.listdir(os.path.join(self.directory, shard))
+            except OSError:
+                continue
+            for filename in names:
+                if not filename.endswith(".pkl"):
+                    continue
+                key = filename[: -len(".pkl")]
+                try:
+                    with open(os.path.join(self.directory, shard, filename), "rb") as handle:
+                        found[key] = handle.read()
+                except OSError:
+                    continue
+        return found
+
+    def _remove_legacy_entries(self) -> int:
+        removed = 0
+        if self.directory is None:
+            return removed
+        try:
+            shards = [
+                entry.name
+                for entry in os.scandir(self.directory)
+                if entry.is_dir() and len(entry.name) == 2 and entry.name != _SEGMENT_DIR
+            ]
+        except OSError:
+            return removed
+        for shard in shards:
+            shard_path = os.path.join(self.directory, shard)
+            try:
+                for filename in os.listdir(shard_path):
+                    if filename.endswith(".pkl"):
+                        os.unlink(os.path.join(shard_path, filename))
+                        removed += 1
+                os.rmdir(shard_path)
+            except OSError:
+                pass
+        return removed
+
+    # -- read / write entry points -------------------------------------
+
     def _disk_path_exists(self, key: str) -> bool:
+        if self.directory is None:
+            return False
+        if key in self._seg_index:
+            return True
+        self._refresh_segments()
+        if key in self._seg_index:
+            return True
         path = self._disk_path(key)
         return path is not None and os.path.exists(path)
 
     def _disk_read(self, key: str) -> Any:
+        if self.directory is None:
+            return _MISS
+        with self._lock:
+            return self._disk_read_locked(key)
+
+    def _disk_read_locked(self, key: str) -> Any:
+        location = self._seg_index.get(key)
+        if location is None:
+            self._refresh_segments()
+            location = self._seg_index.get(key)
+        if location is not None:
+            payload = self._read_segment_payload(key, location)
+            if payload is not None:
+                try:
+                    return pickle.loads(payload)
+                except (pickle.PickleError, EOFError, AttributeError, ValueError):
+                    pass
+            # The record vanished (compaction) or failed validation: drop
+            # the stale index entry and fall through to the legacy tier.
+            self._seg_index.pop(key, None)
         path = self._disk_path(key)
         if path is None or not os.path.exists(path):
             return _MISS
@@ -282,15 +684,36 @@ class SynthesisCache:
             return _MISS
 
     def _disk_write(self, key: str, value: Any) -> None:
-        path = self._disk_path(key)
-        if path is None:
+        if self.directory is None:
             return
         try:
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            tmp_path = f"{path}.tmp.{os.getpid()}"
-            with open(tmp_path, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_path, path)
+            with self._lock:
+                self._disk_write_locked(key, value)
+        except (OSError, pickle.PickleError):
+            # The disk tier is best-effort: an unwritable store degrades the
+            # cache to memory-only instead of failing the compilation.
+            pass
+
+    def _disk_write_locked(self, key: str, value: Any) -> None:
+        try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            fd = self._open_own_segment()
+            if fd is None:
+                return
+            record = self._build_record(key, payload)
+            name = self._own_segment_name
+            offset = self._seg_offsets.get(name, 0)
+            os.write(fd, record)  # one complete record per write
+            self._seg_offsets[name] = offset + len(record)
+            self._seg_index[key] = (
+                name,
+                offset + _RECORD_HEADER.size + len(key.encode("utf-8")),
+                len(payload),
+            )
+            self._puts_since_publish += 1
+            if self._puts_since_publish >= _INDEX_PUBLISH_INTERVAL:
+                self._puts_since_publish = 0
+                self._publish_index()
         except (OSError, pickle.PickleError):
             # The disk tier is best-effort: an unwritable store degrades the
             # cache to memory-only instead of failing the compilation.

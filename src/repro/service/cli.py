@@ -26,6 +26,17 @@ registered compilers (``reqisc-full`` / ``reqisc-eff`` / baselines, see
     List the named :class:`~repro.target.target.Target` presets accepted by
     ``--target``.
 
+``serve``
+    Run the long-lived compile daemon (:mod:`repro.service.server`): job
+    intake over a Unix-domain or local TCP socket, a persistent sharded
+    worker pool, content-hash request dedup and bounded-queue backpressure
+    (see ``docs/serving.md``).
+
+``submit``
+    Client for a running daemon: compile OpenQASM 2.0 files over the
+    socket (``repro submit prog.qasm``), or probe it with ``--ping`` /
+    ``--stats`` / ``--shutdown``.
+
 ``perf``
     Run the :mod:`repro.perf` microbenchmark harness (compile / route /
     synthesize / simulate) and write a schema-stable ``BENCH_*.json``
@@ -228,6 +239,98 @@ def build_parser() -> argparse.ArgumentParser:
     )
     targets_parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the long-lived compile daemon (see docs/serving.md)",
+        description=(
+            "Run a resident compile service: NDJSON job intake over a socket, "
+            "a persistent sharded worker pool with per-job timeouts and crash "
+            "isolation, content-hash request dedup, and bounded-queue "
+            "backpressure.  Clients connect with `repro submit`."
+        ),
+    )
+    serve_parser.add_argument(
+        "--address",
+        default=".repro-serve.sock",
+        metavar="ADDR",
+        help=(
+            "socket to listen on: a filesystem path or unix:PATH for a "
+            "Unix-domain socket, tcp:HOST:PORT for TCP "
+            "(default: .repro-serve.sock)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2, metavar="N", help="persistent worker processes (default: 2)"
+    )
+    serve_parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        metavar="N",
+        help="queued+running jobs before new work is refused as overloaded (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="default per-job deadline; a job past it is killed and fails alone (default: 60)",
+    )
+    serve_parser.add_argument(
+        "--max-qubits",
+        type=int,
+        default=64,
+        metavar="N",
+        help="reject circuits larger than N qubits (default: 64)",
+    )
+    _add_cache_arguments(serve_parser)
+    serve_parser.add_argument(
+        "--compact-on-shutdown",
+        action="store_true",
+        help="fold the on-disk cache's segment files into one on clean shutdown",
+    )
+    serve_parser.add_argument(
+        "--enable-fault-injection",
+        action="store_true",
+        help="accept the test-only 'fault' request field (fault-injection harnesses)",
+    )
+
+    submit_parser = subparsers.add_parser(
+        "submit",
+        help="compile programs via a running `repro serve` daemon",
+        description=(
+            "Connect to a running `repro serve` daemon and compile OpenQASM "
+            "2.0 files over the socket, or probe the daemon with --ping / "
+            "--stats / --shutdown."
+        ),
+    )
+    submit_parser.add_argument(
+        "qasm", nargs="*", metavar="QASM", help="OpenQASM 2.0 file(s) to compile"
+    )
+    submit_parser.add_argument(
+        "--address",
+        default=".repro-serve.sock",
+        metavar="ADDR",
+        help="daemon socket (path, unix:PATH or tcp:HOST:PORT; default: .repro-serve.sock)",
+    )
+    submit_parser.add_argument(
+        "--compiler", default="reqisc-eff", metavar="NAME", help="compiler name (default: reqisc-eff)"
+    )
+    submit_parser.add_argument("--seed", type=int, default=0, help="compile seed (default: 0)")
+    submit_parser.add_argument(
+        "--target", metavar="PRESET", default=None, help="device-target preset name (see `repro targets`)"
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS", help="per-job deadline override"
+    )
+    submit_parser.add_argument("--ping", action="store_true", help="liveness probe, then exit")
+    submit_parser.add_argument("--stats", action="store_true", help="print the daemon's counter snapshot")
+    submit_parser.add_argument(
+        "--shutdown", action="store_true", help="ask the daemon to shut down (after any compiles)"
+    )
+    _add_output_arguments(submit_parser)
+    _add_emit_argument(submit_parser)
+
     perf_parser = subparsers.add_parser(
         "perf",
         help="run the performance microbenchmark suite and write BENCH_*.json",
@@ -245,7 +348,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--only",
         metavar="KIND",
         action="append",
-        choices=("compile", "route", "ir", "qasm", "synthesize", "simulate"),
+        choices=("compile", "route", "ir", "qasm", "serve", "synthesize", "simulate"),
         help="restrict to one benchmark kind (repeatable; default: all)",
     )
     perf_parser.add_argument("--seed", type=int, default=42, help="workload seed (default: 42)")
@@ -673,6 +776,109 @@ def _cmd_targets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.service.protocol import format_address
+    from repro.service.server import CompileServer, ServeConfig
+
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    cache_dir = None if args.no_cache else (args.cache_dir or None)
+    config = ServeConfig(
+        address=args.address,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        job_timeout=args.job_timeout,
+        max_qubits=args.max_qubits,
+        cache_dir=cache_dir,
+        cache_capacity=args.cache_capacity,
+        enable_fault_injection=args.enable_fault_injection,
+        compact_cache_on_shutdown=args.compact_on_shutdown,
+    )
+    server = CompileServer(config).start()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: server.close())
+    print(
+        f"repro serve: listening on {format_address(server.address)} "
+        f"({args.workers} workers, max_pending={args.max_pending})",
+        file=sys.stderr,
+    )
+    try:
+        server.wait()
+    finally:
+        server.close()
+    print("repro serve: shut down", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.server import ServeClient, ServeError
+
+    if not (args.qasm or args.ping or args.stats or args.shutdown):
+        raise SystemExit("nothing to do: give QASM file(s), --ping, --stats or --shutdown")
+
+    client = ServeClient(args.address)
+    try:
+        try:
+            if args.ping:
+                client.ping()
+                print(f"pong ({args.address})")
+        except (ConnectionError, OSError) as exc:
+            raise SystemExit(f"cannot reach daemon at {args.address!r}: {exc}")
+
+        rows: List[Dict[str, Any]] = []
+        sections: List[Tuple[str, str]] = []
+        errors: List[Tuple[str, str]] = []
+        start = time.perf_counter()
+        for path in args.qasm:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0] or path
+            try:
+                response = client.compile(
+                    source,
+                    compiler=args.compiler,
+                    seed=args.seed,
+                    target=args.target,
+                    timeout=args.timeout,
+                )
+            except ServeError as exc:
+                errors.append((name, f"[{exc.code}] {exc.message}"))
+                continue
+            except (ConnectionError, OSError) as exc:
+                raise SystemExit(f"lost connection to daemon at {args.address!r}: {exc}")
+            if args.emit == "qasm":
+                sections.append((name, response["qasm"]))
+            row: Dict[str, Any] = {"benchmark": name, "cached": response["cached"]}
+            row.update(response["summary"])
+            rows.append(row)
+        elapsed = time.perf_counter() - start
+
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, default=_json_default))
+        if args.shutdown:
+            client.shutdown_server()
+            print("daemon shutting down", file=sys.stderr)
+
+        if args.emit == "qasm" and sections:
+            _emit_qasm_sections(sections, args)
+        elif rows:
+            report = {
+                "command": "submit",
+                "title": f"submit [{args.compiler}] via {args.address}",
+                "rows": rows,
+                "errors": errors,
+                "elapsed_seconds": elapsed,
+            }
+            _emit(_render(report, rows, args), args)
+        for name, message in errors:
+            print(f"ERROR {name}: {message}", file=sys.stderr)
+        return 1 if errors else 0
+    finally:
+        client.close()
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.perf.harness import run_perf, write_report
 
@@ -720,6 +926,14 @@ def _cmd_perf(args: argparse.Namespace) -> int:
                 "load {load_gates_per_second:.0f} gates/s, "
                 "bit_identical={bit_identical}".format(**qasm_section)
             )
+        serve_section = report.get("serve")
+        if serve_section:
+            print(
+                "serve: {throughput_jobs_per_second:.1f} jobs/s sustained "
+                "({completed}/{requests} jobs, {clients} clients, {workers} workers), "
+                "p50={latency_p50_ms:.1f}ms p99={latency_p99_ms:.1f}ms, "
+                "bit_identical={bit_identical}".format(**serve_section)
+            )
         ir_section = report.get("ir")
         if ir_section:
             print(
@@ -742,6 +956,8 @@ _COMMANDS = {
     "suite": _cmd_suite,
     "list": _cmd_list,
     "targets": _cmd_targets,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
     "perf": _cmd_perf,
 }
 

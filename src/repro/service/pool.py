@@ -1,0 +1,425 @@
+"""Persistent sharded worker pool of the ``repro serve`` daemon.
+
+Unlike :class:`~repro.service.batch.BatchCompiler`, which forks a fresh
+process pool per batch and tears it down afterwards, this pool keeps its
+workers alive across jobs: each worker owns a warm
+:class:`~repro.service.cache.SynthesisCache` (memory tier hot, disk tier
+shared through the segment store) and module imports are paid once, not per
+request.  The design borrows the decoupled submit/complete structure of
+asynchronous device pools (CXLMemUring in PAPERS.md): callers get a future
+at submit time, a single pump thread moves jobs and completions.
+
+Isolation properties (proven by ``tests/test_service_server.py``):
+
+* **Sharding.**  A job's content-hash key pins it to one worker
+  (``int(key, 16) % workers``), so repeated submissions of the same circuit
+  hit the same warm memory cache.  Each worker has its *own* request and
+  response queues — a wedged worker never blocks another worker's traffic,
+  and a killed worker's queues are discarded wholesale (a queue shared with
+  other workers could be corrupted by killing a process mid-``put``).
+* **One outstanding job per worker.**  Queued jobs wait server-side in
+  per-shard deques; a worker only ever holds the job it is running.  The
+  pump thread can therefore enforce per-job deadlines exactly: kill the
+  process, fail that job alone, respawn, dispatch the shard's next job.
+* **Crash containment.**  A worker that dies (injected ``exit`` fault,
+  segfault, OOM kill) fails only the job it was running; the pool respawns
+  the worker and the shard keeps draining.  Results are never reordered
+  across a respawn because the shard's pending deque lives in the parent.
+"""
+
+from __future__ import annotations
+
+import collections
+import multiprocessing
+import os
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+__all__ = ["PoolJob", "JobOutcome", "WorkerPool"]
+
+#: Pump-thread poll interval; bounds added latency per completion.
+_POLL_SECONDS = 0.005
+#: Grace given to workers to drain their sentinel at shutdown.
+_SHUTDOWN_GRACE_SECONDS = 2.0
+
+
+@dataclass(frozen=True)
+class PoolJob:
+    """One compile job, picklable for the worker boundary.
+
+    ``key`` is the request's content-hash (dedup identity); it also selects
+    the shard.  ``fault`` is the test-only injected failure mode (see
+    :data:`repro.service.protocol.FAULT_MODES`).
+    """
+
+    key: str
+    qasm: str
+    compiler: str = "reqisc-eff"
+    seed: int = 0
+    target: Optional[str] = None
+    timeout: float = 60.0
+    fault: Optional[str] = None
+
+
+@dataclass
+class JobOutcome:
+    """What came back for one job: a payload or a structured failure."""
+
+    key: str
+    ok: bool
+    payload: Optional[Dict[str, Any]] = None  # qasm, summary, cache, elapsed
+    error_code: Optional[str] = None
+    error_message: Optional[str] = None
+    worker: int = -1
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class _WorkerSlot:
+    """Parent-side state of one worker: process, queues, shard backlog."""
+
+    index: int
+    process: Optional[multiprocessing.Process] = None
+    inbox: Optional[Any] = None  # mp.Queue of PoolJob
+    outbox: Optional[Any] = None  # mp.Queue of (key, ok, payload, code, message, elapsed)
+    running: Optional[Tuple[PoolJob, Future, float]] = None  # job, future, deadline
+    backlog: Deque[Tuple[PoolJob, Future]] = field(default_factory=collections.deque)
+    generation: int = 0
+
+
+def _execute_job(job: PoolJob, cache) -> Tuple[bool, Any, Optional[str], Optional[str]]:
+    """Worker-side job body; returns (ok, payload, error_code, error_message)."""
+    from repro.service.protocol import ERR_COMPILE
+
+    if job.fault == "raise":
+        raise RuntimeError("injected fault: raise")
+    if job.fault == "hang":
+        time.sleep(3600.0)
+    if job.fault == "exit":
+        os._exit(17)
+
+    from repro.experiments.common import build_compilers
+    from repro.qasm import QasmError, dumps, loads
+    from repro.service.cache import CacheStats
+
+    before = cache.stats.snapshot() if cache is not None else CacheStats()
+    start = time.perf_counter()
+    try:
+        circuit = loads(job.qasm)
+        registry = build_compilers(
+            [job.compiler], seed=job.seed, synthesis_cache=cache, target=job.target
+        )
+        result = registry[job.compiler].compile(circuit)
+    except QasmError as exc:
+        return False, None, ERR_COMPILE, f"QasmError: {exc}"
+    except Exception as exc:  # noqa: BLE001 — a poisoned circuit fails alone
+        return False, None, ERR_COMPILE, f"{type(exc).__name__}: {exc}"
+    elapsed = time.perf_counter() - start
+    delta = cache.stats.delta_since(before) if cache is not None else CacheStats()
+    payload = {
+        "qasm": dumps(result.circuit),
+        "summary": result.summary(),
+        "cache": delta.as_dict(),
+        "compile_seconds": elapsed,
+    }
+    return True, payload, None, None
+
+
+def _worker_main(worker_index: int, inbox, outbox, cache_spec) -> None:
+    """Worker process loop: one job at a time until the ``None`` sentinel."""
+    from repro.service.cache import SynthesisCache
+    from repro.service.protocol import ERR_COMPILE
+
+    cache = None
+    if cache_spec is not None:
+        capacity, directory = cache_spec
+        cache = SynthesisCache(capacity=capacity, directory=directory)
+    try:
+        while True:
+            job = inbox.get()
+            if job is None:
+                break
+            start = time.perf_counter()
+            try:
+                ok, payload, code, message = _execute_job(job, cache)
+            except Exception as exc:  # noqa: BLE001 — report, don't die
+                ok, payload = False, None
+                code, message = ERR_COMPILE, f"{type(exc).__name__}: {exc}"
+            elapsed = time.perf_counter() - start
+            outbox.put((job.key, ok, payload, code, message, elapsed))
+    finally:
+        if cache is not None:
+            cache.close()
+
+
+class WorkerPool:
+    """``workers`` persistent compile processes with per-job deadlines.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (shards).
+    cache_spec:
+        ``(capacity, directory)`` passed to each worker's
+        :class:`~repro.service.cache.SynthesisCache`, or ``None`` to run
+        cacheless.  A shared ``directory`` makes workers exchange synthesis
+        results through the concurrency-safe segment store.
+    default_timeout:
+        Per-job deadline in seconds when a job does not carry its own.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        cache_spec: Optional[Tuple[Optional[int], Optional[str]]] = None,
+        default_timeout: float = 60.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if "fork" in multiprocessing.get_all_start_methods():
+            # Workers inherit loaded modules: respawn after a crash costs
+            # milliseconds instead of a full interpreter + numpy re-import.
+            self._ctx = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-POSIX fallback
+            self._ctx = multiprocessing.get_context()
+        self.workers = workers
+        self.cache_spec = cache_spec
+        self.default_timeout = default_timeout
+        self._slots = [_WorkerSlot(index=i) for i in range(workers)]
+        self._lock = threading.Lock()
+        self._closed = threading.Event()
+        self._respawns = 0
+        self._timeouts = 0
+        self._crashes = 0
+        for slot in self._slots:
+            self._spawn(slot)
+        self._pump_thread = threading.Thread(target=self._pump, name="repro-pool-pump", daemon=True)
+        self._pump_thread.start()
+
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
+    def submit(self, job: PoolJob) -> "Future[JobOutcome]":
+        """Queue ``job`` on its shard; the future resolves to a :class:`JobOutcome`."""
+        if self._closed.is_set():
+            raise RuntimeError("pool is shut down")
+        future: "Future[JobOutcome]" = Future()
+        slot = self._slots[self._shard(job.key)]
+        with self._lock:
+            slot.backlog.append((job, future))
+            self._dispatch(slot)
+        return future
+
+    def pending_jobs(self) -> int:
+        """Jobs queued or running right now (the backpressure quantity)."""
+        with self._lock:
+            return sum(len(slot.backlog) + (1 if slot.running else 0) for slot in self._slots)
+
+    def stats(self) -> Dict[str, Any]:
+        """Counter snapshot for the ``stats`` op and the perf harness."""
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "alive": sum(
+                    1 for slot in self._slots if slot.process is not None and slot.process.is_alive()
+                ),
+                "pending": sum(
+                    len(slot.backlog) + (1 if slot.running else 0) for slot in self._slots
+                ),
+                "respawns": self._respawns,
+                "timeouts": self._timeouts,
+                "crashes": self._crashes,
+            }
+
+    def shutdown(self) -> None:
+        """Stop the pump, fail queued jobs, terminate the workers."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._pump_thread.join(timeout=_SHUTDOWN_GRACE_SECONDS + 1.0)
+        from repro.service.protocol import ERR_SHUTDOWN
+
+        with self._lock:
+            for slot in self._slots:
+                while slot.backlog:
+                    _, future = slot.backlog.popleft()
+                    self._fail(future, slot, ERR_SHUTDOWN, "server shutting down")
+                if slot.running is not None:
+                    _, future, _ = slot.running
+                    slot.running = None
+                    self._fail(future, slot, ERR_SHUTDOWN, "server shutting down")
+                self._stop_worker(slot)
+
+    # ------------------------------------------------------------------
+    # Internals (pump thread + process management).
+    # ------------------------------------------------------------------
+    def _shard(self, key: str) -> int:
+        try:
+            return int(key[:8], 16) % self.workers
+        except ValueError:
+            return hash(key) % self.workers
+
+    def _spawn(self, slot: _WorkerSlot) -> None:
+        slot.inbox = self._ctx.Queue()
+        slot.outbox = self._ctx.Queue()
+        slot.generation += 1
+        slot.process = self._ctx.Process(
+            target=_worker_main,
+            args=(slot.index, slot.inbox, slot.outbox, self.cache_spec),
+            name=f"repro-serve-worker-{slot.index}",
+            daemon=True,
+        )
+        slot.process.start()
+
+    def _kill_and_respawn(self, slot: _WorkerSlot) -> None:
+        process = slot.process
+        if process is not None and process.is_alive():
+            process.kill()
+            process.join(timeout=_SHUTDOWN_GRACE_SECONDS)
+        self._discard_queues(slot)
+        self._respawns += 1
+        self._spawn(slot)
+
+    def _stop_worker(self, slot: _WorkerSlot) -> None:
+        process = slot.process
+        if process is None:
+            return
+        try:
+            if process.is_alive():
+                slot.inbox.put(None)
+                process.join(timeout=_SHUTDOWN_GRACE_SECONDS)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=_SHUTDOWN_GRACE_SECONDS)
+        except (OSError, ValueError):
+            pass
+        self._discard_queues(slot)
+        slot.process = None
+
+    @staticmethod
+    def _discard_queues(slot: _WorkerSlot) -> None:
+        for q in (slot.inbox, slot.outbox):
+            if q is None:
+                continue
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except (OSError, ValueError):
+                pass
+        slot.inbox = None
+        slot.outbox = None
+
+    def _dispatch(self, slot: _WorkerSlot) -> None:
+        """Hand the shard's next job to its (idle) worker.  Caller holds the lock."""
+        if slot.running is not None or not slot.backlog:
+            return
+        job, future = slot.backlog.popleft()
+        if not future.set_running_or_notify_cancel():
+            self._dispatch(slot)
+            return
+        deadline = time.monotonic() + (job.timeout or self.default_timeout)
+        slot.running = (job, future, deadline)
+        slot.inbox.put(job)
+
+    @staticmethod
+    def _resolve(future: Future, outcome: JobOutcome) -> None:
+        """Complete a future whether it is still pending or already running."""
+        if future.done():
+            return
+        if not future.running() and not future.set_running_or_notify_cancel():
+            return  # cancelled while queued
+        future.set_result(outcome)
+
+    def _fail(self, future: Future, slot: _WorkerSlot, code: str, message: str) -> None:
+        self._resolve(
+            future,
+            JobOutcome(key="", ok=False, error_code=code, error_message=message, worker=slot.index),
+        )
+
+    def _pump(self) -> None:
+        from repro.service.protocol import ERR_TIMEOUT, ERR_WORKER_CRASH
+
+        while not self._closed.is_set():
+            progressed = False
+            with self._lock:
+                now = time.monotonic()
+                for slot in self._slots:
+                    # 1. Drain completions.
+                    while slot.outbox is not None:
+                        try:
+                            key, ok, payload, code, message, elapsed = slot.outbox.get_nowait()
+                        except queue.Empty:
+                            break
+                        except (OSError, ValueError, EOFError):
+                            break
+                        progressed = True
+                        if slot.running is not None and slot.running[0].key == key:
+                            job, future, _ = slot.running
+                            slot.running = None
+                            outcome = JobOutcome(
+                                key=key,
+                                ok=ok,
+                                payload=payload,
+                                error_code=code,
+                                error_message=message,
+                                worker=slot.index,
+                                elapsed_seconds=elapsed,
+                            )
+                            self._resolve(future, outcome)
+                    # 2. Deadline enforcement: kill, fail, respawn, move on.
+                    if slot.running is not None:
+                        job, future, deadline = slot.running
+                        if now >= deadline:
+                            slot.running = None
+                            self._timeouts += 1
+                            self._kill_and_respawn(slot)
+                            limit = job.timeout or self.default_timeout
+                            self._resolve(
+                                future,
+                                JobOutcome(
+                                    key=job.key,
+                                    ok=False,
+                                    error_code=ERR_TIMEOUT,
+                                    error_message=(
+                                        f"job exceeded its {limit:.1f}s deadline; "
+                                        "worker killed and respawned"
+                                    ),
+                                    worker=slot.index,
+                                ),
+                            )
+                            progressed = True
+                    # 3. Crash detection: the worker died while busy.
+                    if (
+                        slot.running is not None
+                        and slot.process is not None
+                        and not slot.process.is_alive()
+                    ):
+                        job, future, _ = slot.running
+                        slot.running = None
+                        self._crashes += 1
+                        exitcode = slot.process.exitcode
+                        self._discard_queues(slot)
+                        self._respawns += 1
+                        self._spawn(slot)
+                        self._resolve(
+                            future,
+                            JobOutcome(
+                                key=job.key,
+                                ok=False,
+                                error_code=ERR_WORKER_CRASH,
+                                error_message=(
+                                    f"worker died (exit code {exitcode}) while running "
+                                    "this job; worker respawned"
+                                ),
+                                worker=slot.index,
+                            ),
+                        )
+                        progressed = True
+                    # 4. Keep the shard busy.
+                    self._dispatch(slot)
+            if not progressed:
+                time.sleep(_POLL_SECONDS)

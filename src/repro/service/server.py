@@ -1,0 +1,600 @@
+"""The ``repro serve`` daemon: a long-running compile service.
+
+Turns the one-shot fork/compile/exit :class:`~repro.service.batch.BatchCompiler`
+into a resident service: job intake over a Unix-domain (or local TCP)
+socket speaking the NDJSON protocol of :mod:`repro.service.protocol`, a
+persistent sharded :class:`~repro.service.pool.WorkerPool`, and three
+layers of request coalescing in front of it:
+
+1. **Result cache** — a bounded LRU of completed responses keyed by the
+   request's content hash; a repeat submission answers without touching
+   the pool at all.
+2. **In-flight dedup** — concurrent submissions of the same circuit
+   (same :func:`~repro.service.cache.circuit_fingerprint`, compiler,
+   target and seed) attach to the one running job and all receive the
+   identical result; only one compile ever runs.
+3. **Synthesis cache** — inside the workers, the segment-backed
+   :class:`~repro.service.cache.SynthesisCache` shares KAK/template
+   results across jobs, workers and daemon restarts.
+
+Backpressure is a bounded queue: when ``queued + running`` jobs reach
+``max_pending``, new work is refused with an explicit ``overloaded``
+response instead of building an unbounded backlog (the client retries
+later).  Per-job deadlines and crash containment come from the pool: a
+poisoned circuit, hung worker or dying process fails only its own job and
+the worker is respawned — proven by the fault-injection suite in
+``tests/test_service_server.py``.
+
+Determinism contract: a daemon response is bit-identical to
+``BatchCompiler`` output and to an in-process ``compile()`` with the same
+compiler/seed/target, because job identity hashes exact circuit content
+and the synthesis cache keys on exact matrix bytes (gated continuously by
+``BENCH_serve.json``'s bit-identity check).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.service import protocol
+from repro.service.pool import JobOutcome, PoolJob, WorkerPool
+
+__all__ = ["ServeConfig", "ServeStats", "CompileServer", "ServeClient", "ServeError"]
+
+#: Extra seconds a connection thread waits beyond the job deadline before
+#: giving up on the pool (the pool's own timeout should always fire first).
+_WAIT_GRACE_SECONDS = 10.0
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one :class:`CompileServer` instance."""
+
+    address: str = ".repro-serve.sock"  # path, unix:PATH, tcp:HOST:PORT or HOST:PORT
+    workers: int = 2
+    max_pending: int = 64  # queued + running jobs before `overloaded`
+    job_timeout: float = 60.0  # default per-job deadline (seconds)
+    max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES
+    max_qasm_bytes: int = 1024 * 1024
+    max_qubits: Optional[int] = 64  # None disables the bound
+    cache_dir: Optional[str] = None
+    cache_capacity: Optional[int] = 4096
+    result_cache_size: int = 256
+    enable_fault_injection: bool = False  # accept the test-only `fault` field
+    allow_shutdown_op: bool = True
+    compact_cache_on_shutdown: bool = False
+
+
+@dataclass
+class ServeStats:
+    """Daemon-level counters (the ``stats`` op payload)."""
+
+    received: int = 0
+    completed: int = 0
+    failed: int = 0
+    compiles_started: int = 0
+    dedup_inflight: int = 0
+    dedup_result_cache: int = 0
+    rejected_overload: int = 0
+    rejected_invalid: int = 0
+    malformed_frames: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "received": self.received,
+            "completed": self.completed,
+            "failed": self.failed,
+            "compiles_started": self.compiles_started,
+            "dedup_inflight": self.dedup_inflight,
+            "dedup_result_cache": self.dedup_result_cache,
+            "rejected_overload": self.rejected_overload,
+            "rejected_invalid": self.rejected_invalid,
+            "malformed_frames": self.malformed_frames,
+        }
+
+
+class CompileServer:
+    """Socket front end + dedup layer over a persistent :class:`WorkerPool`."""
+
+    def __init__(self, config: Optional[ServeConfig] = None, **overrides: Any) -> None:
+        if config is None:
+            config = ServeConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a ServeConfig or keyword overrides, not both")
+        self.config = config
+        self.stats = ServeStats()
+        self.address = protocol.parse_address(config.address)
+        self._pool: Optional[WorkerPool] = None
+        self._socket: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._connections: List[socket.socket] = []
+        self._lock = threading.Lock()
+        self._shutdown = threading.Event()
+        self._started = False
+        # Dedup state: content-hash -> future (in flight) / response payload
+        # fields (result LRU).  Aggregated worker-side cache counters.
+        self._inflight: Dict[str, "Future[JobOutcome]"] = {}
+        self._result_cache: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._cache_totals: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def start(self) -> "CompileServer":
+        """Bind the socket, spawn the worker pool and the accept thread."""
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        cache_spec = None
+        if self.config.cache_dir is not None:
+            cache_spec = (self.config.cache_capacity, self.config.cache_dir)
+        elif self.config.cache_capacity is not None:
+            cache_spec = (self.config.cache_capacity, None)
+        self._pool = WorkerPool(
+            workers=self.config.workers,
+            cache_spec=cache_spec,
+            default_timeout=self.config.job_timeout,
+        )
+        family, value = self.address
+        if family == "unix":
+            try:
+                os.unlink(value)
+            except OSError:
+                pass
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.bind(value)
+        else:
+            host, port = value
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, port))
+            if port == 0:  # ephemeral port: record what the OS picked
+                self.address = ("tcp", sock.getsockname()[:2])
+        sock.listen(128)
+        sock.settimeout(0.2)  # lets the accept loop notice shutdown
+        self._socket = sock
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-serve-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the daemon shuts down; True when it did."""
+        return self._shutdown.wait(timeout)
+
+    def close(self) -> None:
+        """Stop accepting, fail queued jobs, stop workers, release the socket."""
+        if self._shutdown.is_set():
+            return
+        self._shutdown.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        with self._lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._pool is not None:
+            self._pool.shutdown()
+        if self._socket is not None:
+            try:
+                self._socket.close()
+            except OSError:
+                pass
+        family, value = self.address
+        if family == "unix":
+            try:
+                os.unlink(value)
+            except OSError:
+                pass
+        if self.config.compact_cache_on_shutdown and self.config.cache_dir is not None:
+            from repro.service.cache import SynthesisCache
+
+            SynthesisCache(capacity=1, directory=self.config.cache_dir).compact()
+
+    def __enter__(self) -> "CompileServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Accept / connection handling.
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._shutdown.is_set():
+            try:
+                conn, _ = self._socket.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            conn.settimeout(None)
+            with self._lock:
+                self._connections.append(conn)
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), name="repro-serve-conn", daemon=True
+            )
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        reader = protocol.FrameReader(max_frame_bytes=self.config.max_frame_bytes)
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    frames = protocol.receive_frames(conn, reader)
+                except protocol.ProtocolError as exc:
+                    # The stream has no recoverable record boundary after a
+                    # framing violation: answer once, then hang up.
+                    with self._lock:
+                        self.stats.malformed_frames += 1
+                    self._send(conn, protocol.error_response(None, exc.code, str(exc)))
+                    break
+                except OSError:
+                    break
+                if frames is None:
+                    break  # clean EOF
+                for frame in frames:
+                    response = self._handle_frame(frame)
+                    if response is not None:
+                        self._send(conn, response)
+                    if self._shutdown.is_set():
+                        break
+        finally:
+            with self._lock:
+                if conn in self._connections:
+                    self._connections.remove(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _send(self, conn: socket.socket, message: Dict[str, Any]) -> None:
+        try:
+            conn.sendall(protocol.encode_frame(message))
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Request handling.
+    # ------------------------------------------------------------------
+    def _handle_frame(self, frame: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        request_id = frame.get("id") if isinstance(frame, dict) else None
+        try:
+            request = protocol.validate_request(
+                frame, allow_fault=self.config.enable_fault_injection
+            )
+        except protocol.ProtocolError as exc:
+            with self._lock:
+                self.stats.rejected_invalid += 1
+            return protocol.error_response(request_id, exc.code, str(exc))
+
+        op = request["op"]
+        if op == "ping":
+            return protocol.ok_response(request_id, op="ping")
+        if op == "stats":
+            return protocol.ok_response(request_id, op="stats", stats=self.snapshot())
+        if op == "shutdown":
+            if not self.config.allow_shutdown_op:
+                return protocol.error_response(
+                    request_id, protocol.ERR_BAD_REQUEST, "shutdown op is disabled"
+                )
+            # Answer first, then tear down shortly after so this connection
+            # still receives its acknowledgement frame.
+            timer = threading.Timer(0.2, self.close)
+            timer.daemon = True
+            timer.start()
+            return protocol.ok_response(request_id, op="shutdown")
+        return self._handle_compile(request)
+
+    def _handle_compile(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        request_id = request["id"]
+        with self._lock:
+            self.stats.received += 1
+        if self._shutdown.is_set():
+            return protocol.error_response(
+                request_id, protocol.ERR_SHUTDOWN, "server is shutting down"
+            )
+
+        qasm = request["qasm"]
+        if len(qasm.encode("utf-8")) > self.config.max_qasm_bytes:
+            with self._lock:
+                self.stats.rejected_invalid += 1
+            return protocol.error_response(
+                request_id,
+                protocol.ERR_TOO_LARGE,
+                f"qasm exceeds max_qasm_bytes={self.config.max_qasm_bytes}",
+            )
+
+        # Parse up front: a syntactically broken program is the client's
+        # error (bad-request), not a compile failure, and the parsed circuit
+        # gives us the content-addressed dedup key + early size validation.
+        from repro.qasm import QasmError, loads
+        from repro.service.cache import circuit_fingerprint
+
+        try:
+            circuit = loads(qasm)
+        except QasmError as exc:
+            with self._lock:
+                self.stats.rejected_invalid += 1
+            return protocol.error_response(
+                request_id, protocol.ERR_BAD_REQUEST, f"invalid QASM: {exc}"
+            )
+        if self.config.max_qubits is not None and circuit.num_qubits > self.config.max_qubits:
+            with self._lock:
+                self.stats.rejected_invalid += 1
+            return protocol.error_response(
+                request_id,
+                protocol.ERR_TOO_LARGE,
+                f"circuit has {circuit.num_qubits} qubits; this server caps jobs at "
+                f"max_qubits={self.config.max_qubits}",
+            )
+        target = request["target"]
+        if target is not None:
+            from repro.target.target import resolve_target
+
+            try:
+                resolve_target(target, num_qubits=max(2, circuit.num_qubits))
+            except (ValueError, TypeError, KeyError, OSError) as exc:
+                with self._lock:
+                    self.stats.rejected_invalid += 1
+                return protocol.error_response(
+                    request_id, protocol.ERR_BAD_REQUEST, f"invalid target {target!r}: {exc}"
+                )
+
+        # Job identity: exact circuit content + everything that can change
+        # the compiled bytes.  The injected fault participates so a hanging
+        # probe never coalesces with a real compile of the same circuit.
+        key = circuit_fingerprint(
+            circuit,
+            "serve",
+            request["compiler"],
+            str(target),
+            str(request["seed"]),
+            str(request["fault"]),
+        )
+        timeout = request["timeout"] or self.config.job_timeout
+
+        future: Optional["Future[JobOutcome]"] = None
+        with self._lock:
+            cached = self._result_cache.get(key)
+            if cached is not None:
+                self._result_cache.move_to_end(key)
+                self.stats.dedup_result_cache += 1
+                self.stats.completed += 1
+                return protocol.ok_response(request_id, cached="result", **cached)
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self.stats.dedup_inflight += 1
+                future = existing
+            else:
+                if self._pool.pending_jobs() >= self.config.max_pending:
+                    self.stats.rejected_overload += 1
+                    return protocol.error_response(
+                        request_id,
+                        protocol.ERR_OVERLOADED,
+                        f"server is at max_pending={self.config.max_pending} jobs; retry later",
+                        pending=self._pool.pending_jobs(),
+                    )
+                self.stats.compiles_started += 1
+                job = PoolJob(
+                    key=key,
+                    qasm=qasm,
+                    compiler=request["compiler"],
+                    seed=request["seed"],
+                    target=target,
+                    timeout=timeout,
+                    fault=request["fault"],
+                )
+                future = self._pool.submit(job)
+                self._inflight[key] = future
+        assert future is not None
+
+        try:
+            outcome = future.result(timeout=timeout + _WAIT_GRACE_SECONDS)
+        except Exception as exc:  # noqa: BLE001 — defensive: pool must answer
+            outcome = JobOutcome(
+                key=key,
+                ok=False,
+                error_code=protocol.ERR_INTERNAL,
+                error_message=f"{type(exc).__name__}: {exc}",
+            )
+
+        with self._lock:
+            self._inflight.pop(key, None)
+            if outcome.ok and outcome.payload is not None:
+                fields = {
+                    "key": key,
+                    "qasm": outcome.payload["qasm"],
+                    "summary": outcome.payload["summary"],
+                    "compile_seconds": outcome.payload["compile_seconds"],
+                    "worker": outcome.worker,
+                }
+                for name, count in outcome.payload.get("cache", {}).items():
+                    self._cache_totals[name] = self._cache_totals.get(name, 0) + count
+                self._result_cache[key] = fields
+                while len(self._result_cache) > self.config.result_cache_size:
+                    self._result_cache.popitem(last=False)
+                self.stats.completed += 1
+                return protocol.ok_response(request_id, cached="no", **fields)
+            self.stats.failed += 1
+            return protocol.error_response(
+                request_id,
+                outcome.error_code or protocol.ERR_INTERNAL,
+                outcome.error_message or "unknown failure",
+                key=key,
+                worker=outcome.worker,
+            )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Daemon + pool + aggregated worker-cache counters (``stats`` op)."""
+        with self._lock:
+            payload = {
+                "server": self.stats.as_dict(),
+                "pool": self._pool.stats() if self._pool is not None else {},
+                "cache": dict(self._cache_totals),
+                "inflight": len(self._inflight),
+                "result_cache_entries": len(self._result_cache),
+                "config": {
+                    "workers": self.config.workers,
+                    "max_pending": self.config.max_pending,
+                    "job_timeout": self.config.job_timeout,
+                    "max_qubits": self.config.max_qubits,
+                    "cache_dir": self.config.cache_dir,
+                },
+            }
+        return payload
+
+
+# ---------------------------------------------------------------------------
+# Client.
+# ---------------------------------------------------------------------------
+
+
+class ServeError(Exception):
+    """An error response from the daemon (carries the protocol error code)."""
+
+    def __init__(self, code: str, message: str, response: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.response = response or {}
+
+
+class ServeClient:
+    """Small synchronous client for the ``repro serve`` daemon.
+
+    One socket, one outstanding request at a time (lock-protected), which
+    is exactly what the CLI and the load generator's per-thread clients
+    need.  Use one client per thread for concurrency.
+    """
+
+    def __init__(
+        self,
+        address: Union[str, Tuple[str, int]] = ".repro-serve.sock",
+        timeout: Optional[float] = 120.0,
+        max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.address = protocol.parse_address(address)
+        self.timeout = timeout
+        self._max_frame_bytes = max_frame_bytes
+        self._sock: Optional[socket.socket] = None
+        self._reader = protocol.FrameReader(max_frame_bytes=max_frame_bytes)
+        self._lock = threading.Lock()
+        self._counter = 0
+
+    def _connect(self) -> socket.socket:
+        if self._sock is not None:
+            return self._sock
+        family, value = self.address
+        if family == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(value)
+        else:
+            sock = socket.create_connection(tuple(value), timeout=self.timeout)
+        self._sock = sock
+        self._reader = protocol.FrameReader(max_frame_bytes=self._max_frame_bytes)
+        return sock
+
+    def _close_unlocked(self) -> None:
+        """Drop the socket.  Caller holds (or is) ``self._lock``."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._close_unlocked()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one frame, wait for one response frame (raw, no raising)."""
+        with self._lock:
+            self._counter += 1
+            message = dict(message)
+            message.setdefault("id", self._counter)
+            sock = self._connect()
+            try:
+                sock.sendall(protocol.encode_frame(message))
+                frames = protocol.receive_frames(sock, self._reader)
+            except (OSError, protocol.ProtocolError):
+                self._close_unlocked()
+                raise
+            if frames is None:
+                self._close_unlocked()
+                raise ConnectionError("server closed the connection")
+            return frames[0]
+
+    def _checked(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        response = self.request(message)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServeError(
+                error.get("code", protocol.ERR_INTERNAL),
+                error.get("message", "unknown error"),
+                response,
+            )
+        return response
+
+    def ping(self) -> bool:
+        """True when the daemon answers."""
+        return bool(self._checked({"op": "ping"}).get("ok"))
+
+    def stats(self) -> Dict[str, Any]:
+        """The daemon's counter snapshot."""
+        return self._checked({"op": "stats"})["stats"]
+
+    def shutdown_server(self) -> bool:
+        """Ask the daemon to shut down cleanly."""
+        return bool(self._checked({"op": "shutdown"}).get("ok"))
+
+    def compile(
+        self,
+        qasm: str,
+        compiler: str = "reqisc-eff",
+        seed: int = 0,
+        target: Optional[str] = None,
+        timeout: Optional[float] = None,
+        fault: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Compile one OpenQASM 2.0 program; raises :class:`ServeError` on failure.
+
+        The success response carries ``qasm`` (the compiled program),
+        ``summary`` (the metric row), ``key`` (the dedup content hash),
+        ``cached`` (``"no"`` / ``"result"``) and ``compile_seconds``.
+        """
+        message: Dict[str, Any] = {
+            "op": "compile",
+            "qasm": qasm,
+            "compiler": compiler,
+            "seed": seed,
+            "target": target,
+        }
+        if timeout is not None:
+            message["timeout"] = timeout
+        if fault is not None:
+            message["fault"] = fault
+        return self._checked(message)

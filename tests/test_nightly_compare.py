@@ -23,7 +23,7 @@ def compare_bench():
 @pytest.fixture()
 def report():
     return {
-        "schema": "repro-perf/3",
+        "schema": "repro-perf/4",
         "quick": False,
         "benchmarks": [
             {"name": "route.grid64.random2000", "wall_seconds": 0.25},
@@ -33,6 +33,7 @@ def report():
         "equivalence": {"bit_identical": True},
         "ir": {"bit_identical": True},
         "qasm": {"bit_identical": True, "mismatches": []},
+        "serve": {"bit_identical": True, "mismatches": []},
     }
 
 
@@ -54,7 +55,7 @@ def test_compare_identical_reports_pass(compare_bench, report):
 
 def test_compare_hard_fails_on_schema_drift(compare_bench, report):
     fresh = copy.deepcopy(report)
-    fresh["schema"] = "repro-perf/4"
+    fresh["schema"] = "repro-perf/5"
     failures, _ = compare_bench.compare(report, fresh)
     assert any("schema drift" in f for f in failures)
 
@@ -133,3 +134,4 @@ def test_committed_bench_report_is_full_mode_and_self_checks(compare_bench):
     assert committed["schema"] == SCHEMA_VERSION
     assert compare_bench.self_check(committed, "committed") == []
     assert committed.get("qasm") is not None
+    assert committed.get("serve") is not None

@@ -65,11 +65,13 @@ def test_run_perf_schema_and_file(tmp_path):
         "equivalence",
         "ir",
         "qasm",
+        "serve",
         "cache",
     }
     assert report["routing"] is None  # route kind not selected
     assert report["ir"] is None  # ir kind not selected
     assert report["qasm"] is None  # qasm kind not selected
+    assert report["serve"] is None  # serve kind not selected
     for record in report["benchmarks"]:
         assert set(record) == _RECORD_KEYS
         assert record["wall_seconds"] >= 0.0

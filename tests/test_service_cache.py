@@ -166,16 +166,121 @@ def test_negative_entry_survives_disk_round_trip(tmp_path):
     assert calls == []
 
 
-def test_corrupt_disk_entry_degrades_to_miss(tmp_path):
+def _segment_paths(directory):
+    import glob
+    import os
+
+    return sorted(glob.glob(os.path.join(directory, "segments", "*.seg")))
+
+
+def test_corrupt_segment_degrades_to_miss(tmp_path):
     directory = str(tmp_path / "store")
     writer = SynthesisCache(directory=directory)
     writer.put("entry", [1, 2, 3])
-    path = writer._disk_path("entry")
+    (path,) = _segment_paths(directory)
     with open(path, "wb") as handle:
-        handle.write(b"not a pickle")
+        handle.write(b"not a segment record")
     reader = SynthesisCache(directory=directory)
     assert reader.get("entry") is None
     assert reader.stats.misses == 1
+
+
+def test_truncated_segment_tail_keeps_earlier_entries_readable(tmp_path):
+    # A writer killed mid-append leaves a partial record at the tail of its
+    # own segment; every record before it must stay readable.
+    directory = str(tmp_path / "store")
+    writer = SynthesisCache(directory=directory)
+    for i in range(5):
+        writer.put(f"key-{i}", {"value": i})
+    (path,) = _segment_paths(directory)
+    size = __import__("os").path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(size - 7)  # chop into the last record
+        handle.seek(size - 7)
+        handle.write(b"\x01\x02\x03")  # and leave trailing garbage
+
+    reader = SynthesisCache(directory=directory)
+    for i in range(4):
+        assert reader.get(f"key-{i}") == {"value": i}
+    assert reader.get("key-4") is None  # the torn record reads as a miss
+
+
+def test_concurrent_style_writers_share_one_directory(tmp_path):
+    # Two cache instances (as two processes would be) write disjoint and
+    # overlapping keys to one directory; each sees the other's entries.
+    directory = str(tmp_path / "store")
+    a = SynthesisCache(capacity=2, directory=directory)
+    b = SynthesisCache(capacity=2, directory=directory)
+    a.put("shared", "same-bytes")
+    b.put("shared", "same-bytes")
+    a.put("only-a", 1)
+    b.put("only-b", 2)
+    assert len(_segment_paths(directory)) == 2  # one segment per writer
+    assert a.get("only-b") == 2
+    assert b.get("only-a") == 1
+    fresh = SynthesisCache(directory=directory)
+    assert fresh.get("shared") == "same-bytes"
+
+
+def test_flush_publishes_atomic_index(tmp_path):
+    import json
+    import os
+
+    directory = str(tmp_path / "store")
+    writer = SynthesisCache(directory=directory)
+    writer.put("k1", "v1")
+    writer.flush()
+    index_path = os.path.join(directory, "index.json")
+    assert os.path.exists(index_path)
+    with open(index_path, "r", encoding="utf-8") as handle:
+        index = json.load(handle)
+    assert "k1" in index["entries"]
+    # No torn temp files left behind.
+    assert not [name for name in os.listdir(directory) if ".tmp" in name]
+    # A reader seeded from the published index resolves without a full scan.
+    reader = SynthesisCache(directory=directory)
+    assert reader.get("k1") == "v1"
+
+
+def test_compaction_folds_segments_and_preserves_entries(tmp_path):
+    directory = str(tmp_path / "store")
+    a = SynthesisCache(directory=directory)
+    b = SynthesisCache(directory=directory)
+    for i in range(10):
+        (a if i % 2 else b).put(f"key-{i}", i * i)
+    assert len(_segment_paths(directory)) == 2
+
+    compactor = SynthesisCache(directory=directory)
+    outcome = compactor.compact()
+    assert outcome["entries"] == 10
+    assert len(_segment_paths(directory)) == 1
+
+    fresh = SynthesisCache(directory=directory)
+    for i in range(10):
+        assert fresh.get(f"key-{i}") == i * i
+
+
+def test_legacy_per_entry_files_are_readable_and_compacted(tmp_path):
+    import os
+    import pickle
+
+    # Simulate a cache directory written by the pre-segment layout.
+    directory = str(tmp_path / "store")
+    key = "abcdef0123456789"
+    legacy_path = os.path.join(directory, key[:2], f"{key}.pkl")
+    os.makedirs(os.path.dirname(legacy_path))
+    with open(legacy_path, "wb") as handle:
+        pickle.dump({"legacy": True}, handle)
+
+    reader = SynthesisCache(directory=directory)
+    assert reader.get(key) == {"legacy": True}
+    assert key in reader
+
+    outcome = reader.compact()
+    assert outcome["legacy_removed"] == 1
+    assert not os.path.exists(legacy_path)
+    fresh = SynthesisCache(directory=directory)
+    assert fresh.get(key) == {"legacy": True}
 
 
 def test_cache_stats_snapshot_and_delta():

@@ -1,0 +1,395 @@
+"""Tests for the `repro serve` daemon (repro.service.server + pool).
+
+Covers the tentpole service contracts end-to-end against live daemons:
+
+* round trips are bit-identical to sequential in-process compilation and
+  to :class:`~repro.service.batch.BatchCompiler` output;
+* concurrent identical submissions coalesce into one compile (proven by
+  the daemon's own counters);
+* injected faults (raise / hang-past-timeout / worker exit) fail only
+  their own job, the pool respawns the worker, and later jobs still
+  produce bit-identical results;
+* malformed frames, oversized circuits and overload get explicit,
+  structured refusals instead of hangs or crashes.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.qasm import dumps, loads
+from repro.service.protocol import FrameReader
+from repro.service.server import CompileServer, ServeClient, ServeConfig, ServeError
+from repro.workloads.algorithms import qft_circuit
+
+
+def _sequential_qasm(circuit, compiler="reqisc-eff", seed=0):
+    """The reference output: a plain in-process compile, dumped to QASM."""
+    from repro.experiments.common import build_compilers
+
+    registry = build_compilers([compiler], seed=seed)
+    return dumps(registry[compiler].compile(circuit).circuit)
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    path = tmp_path_factory.mktemp("serve") / "main.sock"
+    config = ServeConfig(
+        address=str(path),
+        workers=2,
+        job_timeout=30.0,
+        cache_dir=None,
+        enable_fault_injection=True,
+    )
+    with CompileServer(config) as instance:
+        yield instance
+
+
+@pytest.fixture()
+def client(server):
+    with ServeClient(server.config.address) as instance:
+        yield instance
+
+
+# ---------------------------------------------------------------------------
+# Round trip + determinism.
+# ---------------------------------------------------------------------------
+
+
+def test_ping(client):
+    assert client.ping() is True
+
+
+def test_compile_round_trip_matches_sequential(client):
+    circuit = qft_circuit(3)
+    response = client.compile(dumps(circuit))
+    assert response["ok"] is True
+    assert response["qasm"] == _sequential_qasm(circuit)
+    assert loads(response["qasm"]).num_qubits == 3
+    summary = response["summary"]
+    assert summary["compiler"] == "reqisc-eff"
+    assert summary["num_2q"] >= 1
+    assert response["compile_seconds"] > 0.0
+
+
+def test_repeat_submission_hits_result_cache(client):
+    qasm = dumps(qft_circuit(3))
+    first = client.compile(qasm)
+    second = client.compile(qasm)
+    assert second["cached"] == "result"
+    assert second["qasm"] == first["qasm"]
+    assert second["key"] == first["key"]
+
+
+def test_seed_and_compiler_participate_in_job_identity(client):
+    qasm = dumps(qft_circuit(3))
+    base = client.compile(qasm)
+    other_seed = client.compile(qasm, seed=123)
+    assert other_seed["key"] != base["key"]
+    other_compiler = client.compile(qasm, compiler="reqisc-full")
+    assert other_compiler["key"] != base["key"]
+    assert other_compiler["summary"]["compiler"] == "reqisc-full"
+
+
+def test_concurrent_identical_submissions_compile_once(server):
+    # K clients race the same brand-new circuit: the in-flight dedup layer
+    # must coalesce them into exactly one compile, all answers identical.
+    circuit = qft_circuit(5)
+    qasm = dumps(circuit)
+    before = server.snapshot()["server"]
+    results = [None] * 8
+    failures = []
+
+    def submit(slot):
+        try:
+            with ServeClient(server.config.address) as c:
+                results[slot] = c.compile(qasm)
+        except Exception as exc:  # noqa: BLE001 — surfaced via `failures`
+            failures.append(repr(exc))
+
+    threads = [threading.Thread(target=submit, args=(i,)) for i in range(len(results))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert failures == []
+    outputs = {response["qasm"] for response in results}
+    assert len(outputs) == 1
+    assert outputs == {_sequential_qasm(circuit)}
+    after = server.snapshot()["server"]
+    assert after["compiles_started"] - before["compiles_started"] == 1
+    dedup = (
+        after["dedup_inflight"]
+        - before["dedup_inflight"]
+        + after["dedup_result_cache"]
+        - before["dedup_result_cache"]
+    )
+    assert dedup == len(results) - 1
+
+
+def test_daemon_matches_batch_compiler_and_sequential(client):
+    from repro.service.batch import BatchCompiler
+
+    circuit = qft_circuit(4)
+    daemon_qasm = client.compile(dumps(circuit))["qasm"]
+    sequential_qasm = _sequential_qasm(circuit)
+    batch = BatchCompiler(compiler="reqisc-eff", workers=2, seed=0).compile_all([circuit])
+    batch_qasm = dumps(batch.items[0].result.circuit)
+    assert daemon_qasm == sequential_qasm == batch_qasm
+
+
+# ---------------------------------------------------------------------------
+# Fault injection: each failure mode fails alone, the pool self-heals.
+# ---------------------------------------------------------------------------
+
+
+def test_fault_raise_is_a_compile_error(client):
+    with pytest.raises(ServeError) as excinfo:
+        client.compile(dumps(qft_circuit(3)), fault="raise")
+    assert excinfo.value.code == "compile-error"
+    assert client.ping() is True  # the daemon is unharmed
+
+
+def test_fault_exit_is_contained_and_worker_respawns(server, client):
+    before = server.snapshot()["pool"]
+    with pytest.raises(ServeError) as excinfo:
+        client.compile(dumps(qft_circuit(3)), fault="exit")
+    assert excinfo.value.code == "worker-crash"
+    after = server.snapshot()["pool"]
+    assert after["crashes"] == before["crashes"] + 1
+    assert after["respawns"] >= before["respawns"] + 1
+    assert after["alive"] == server.config.workers
+
+
+def test_fault_hang_hits_the_job_deadline(server, client):
+    before = server.snapshot()["pool"]
+    start = time.perf_counter()
+    with pytest.raises(ServeError) as excinfo:
+        client.compile(dumps(qft_circuit(3)), fault="hang", timeout=1.0)
+    elapsed = time.perf_counter() - start
+    assert excinfo.value.code == "timeout"
+    assert elapsed < 10.0  # the deadline fired, not the grace fallback
+    after = server.snapshot()["pool"]
+    assert after["timeouts"] == before["timeouts"] + 1
+    assert after["alive"] == server.config.workers
+
+
+def test_jobs_after_faults_are_bit_identical(client):
+    # A fresh seed forces a real recompile on the healed pool (the result
+    # cache cannot answer), and the output must still match the reference.
+    circuit = qft_circuit(3)
+    for fault in ("raise", "exit", "hang"):
+        with pytest.raises(ServeError):
+            client.compile(dumps(circuit), fault=fault, timeout=1.0, seed=7)
+    response = client.compile(dumps(circuit), seed=7)
+    assert response["cached"] == "no"
+    assert response["qasm"] == _sequential_qasm(circuit, seed=7)
+
+
+# ---------------------------------------------------------------------------
+# Refusals: invalid input, size caps, malformed framing, overload.
+# ---------------------------------------------------------------------------
+
+
+def test_invalid_qasm_is_a_bad_request(client):
+    with pytest.raises(ServeError) as excinfo:
+        client.compile("this is not OpenQASM")
+    assert excinfo.value.code == "bad-request"
+
+
+def test_unknown_op_is_a_bad_request(client):
+    response = client.request({"op": "transmogrify"})
+    assert response["ok"] is False
+    assert response["error"]["code"] == "bad-request"
+
+
+def test_unknown_target_is_a_bad_request(client):
+    with pytest.raises(ServeError) as excinfo:
+        client.compile(dumps(qft_circuit(3)), target="warp-topology")
+    assert excinfo.value.code == "bad-request"
+
+
+@pytest.fixture(scope="module")
+def limits_server(tmp_path_factory):
+    path = tmp_path_factory.mktemp("serve-limits") / "limits.sock"
+    config = ServeConfig(
+        address=str(path),
+        workers=1,
+        max_qubits=2,
+        max_qasm_bytes=512,
+        max_frame_bytes=2048,
+        cache_dir=None,
+    )
+    with CompileServer(config) as instance:
+        yield instance
+
+
+def test_oversized_circuit_is_refused(limits_server):
+    with ServeClient(limits_server.config.address) as client:
+        with pytest.raises(ServeError) as excinfo:
+            client.compile(dumps(qft_circuit(3)))  # 3 qubits > max_qubits=2
+        assert excinfo.value.code == "too-large"
+        assert "max_qubits" in excinfo.value.message
+
+
+def test_oversized_qasm_is_refused_before_parsing(limits_server):
+    padded = "OPENQASM 2.0;\n" + "// padding\n" * 100  # > max_qasm_bytes
+    with ServeClient(limits_server.config.address) as client:
+        with pytest.raises(ServeError) as excinfo:
+            client.compile(padded)
+        assert excinfo.value.code == "too-large"
+        assert "max_qasm_bytes" in excinfo.value.message
+
+
+def _raw_connect(server):
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(10.0)
+    sock.connect(server.config.address)
+    return sock
+
+
+def test_malformed_frame_answers_then_closes(server, client):
+    before = server.snapshot()["server"]["malformed_frames"]
+    raw = _raw_connect(server)
+    try:
+        raw.sendall(b"{broken json\n")
+        frames = FrameReader().feed(raw.recv(65536))
+        assert frames[0]["ok"] is False
+        assert frames[0]["error"]["code"] == "bad-request"
+        assert raw.recv(65536) == b""  # the server hung up on this stream
+    finally:
+        raw.close()
+    assert server.snapshot()["server"]["malformed_frames"] == before + 1
+    assert client.ping() is True  # other connections are unaffected
+
+
+def test_oversized_frame_answers_then_closes(limits_server):
+    raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    raw.settimeout(10.0)
+    raw.connect(limits_server.config.address)
+    try:
+        raw.sendall(b"x" * 4096)  # no newline, past max_frame_bytes=2048
+        frames = FrameReader().feed(raw.recv(65536))
+        assert frames[0]["error"]["code"] == "too-large"
+        assert raw.recv(65536) == b""
+    finally:
+        raw.close()
+
+
+def test_overload_is_an_explicit_refusal(tmp_path):
+    # One worker, max_pending=1: while a hung job occupies the pool, a
+    # second submission must be refused as `overloaded`, not queued forever.
+    config = ServeConfig(
+        address=str(tmp_path / "overload.sock"),
+        workers=1,
+        max_pending=1,
+        job_timeout=30.0,
+        cache_dir=None,
+        enable_fault_injection=True,
+    )
+    with CompileServer(config) as server:
+        hang_error = []
+
+        def hang():
+            try:
+                with ServeClient(server.config.address) as c:
+                    c.compile(dumps(qft_circuit(3)), fault="hang", timeout=5.0)
+            except ServeError as exc:
+                hang_error.append(exc.code)
+
+        blocker = threading.Thread(target=hang)
+        blocker.start()
+        try:
+            deadline = time.time() + 10.0
+            while server._pool.pending_jobs() < 1:
+                assert time.time() < deadline, "hung job never reached the pool"
+                time.sleep(0.01)
+            with ServeClient(server.config.address) as probe:
+                with pytest.raises(ServeError) as excinfo:
+                    probe.compile(dumps(qft_circuit(4)))
+                assert excinfo.value.code == "overloaded"
+        finally:
+            blocker.join()
+        assert hang_error == ["timeout"]
+        assert server.snapshot()["server"]["rejected_overload"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Ops + lifecycle.
+# ---------------------------------------------------------------------------
+
+
+def test_stats_snapshot_shape(client, server):
+    stats = client.stats()
+    assert set(stats) >= {"server", "pool", "cache", "config"}
+    assert stats["pool"]["workers"] == server.config.workers
+    assert stats["config"]["max_pending"] == server.config.max_pending
+    assert stats["server"]["received"] >= 1
+
+
+def test_worker_cache_counters_aggregate(server, client):
+    # The same circuit under a fresh seed compiles once per distinct key;
+    # worker-side synthesis-cache deltas must flow into the daemon totals.
+    client.compile(dumps(qft_circuit(6)), seed=11)
+    totals = server.snapshot()["cache"]
+    assert totals.get("puts", 0) >= 1
+
+
+def test_shutdown_op_acknowledges_then_stops(tmp_path):
+    config = ServeConfig(
+        address=str(tmp_path / "stop.sock"), workers=1, cache_dir=None
+    )
+    server = CompileServer(config).start()
+    with ServeClient(server.config.address) as client:
+        assert client.shutdown_server() is True  # the ack frame arrives
+    assert server.wait(timeout=10.0) is True
+    with pytest.raises((ConnectionError, OSError)):
+        ServeClient(server.config.address).ping()
+
+
+def test_shutdown_op_can_be_disabled(tmp_path):
+    config = ServeConfig(
+        address=str(tmp_path / "noshut.sock"),
+        workers=1,
+        cache_dir=None,
+        allow_shutdown_op=False,
+    )
+    with CompileServer(config) as server:
+        with ServeClient(server.config.address) as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.shutdown_server()
+            assert excinfo.value.code == "bad-request"
+            assert client.ping() is True
+
+
+def test_server_rejects_config_plus_overrides():
+    with pytest.raises(ValueError):
+        CompileServer(ServeConfig(), workers=4)
+
+
+def test_shared_disk_cache_across_daemon_restarts(tmp_path):
+    # Segment-backed cache directory: a second daemon instance starts with
+    # the first one's synthesis results already on disk (hits, not puts).
+    cache_dir = str(tmp_path / "cache")
+    qasm = dumps(qft_circuit(5))
+    config = ServeConfig(
+        address=str(tmp_path / "first.sock"), workers=1, cache_dir=cache_dir
+    )
+    with CompileServer(config) as first:
+        with ServeClient(first.config.address) as client:
+            first_qasm = client.compile(qasm)["qasm"]
+        first_totals = first.snapshot()["cache"]
+    assert first_totals.get("puts", 0) >= 1
+
+    config = ServeConfig(
+        address=str(tmp_path / "second.sock"), workers=1, cache_dir=cache_dir
+    )
+    with CompileServer(config) as second:
+        with ServeClient(second.config.address) as client:
+            second_qasm = client.compile(qasm)["qasm"]
+        second_totals = second.snapshot()["cache"]
+    assert second_qasm == first_qasm  # cache reuse never changes output
+    assert second_totals.get("disk_hits", 0) >= 1

@@ -1,0 +1,205 @@
+"""Multi-process stress tests (nightly; `pytest -m stress` to run).
+
+Satellite suites for the compile-service PR:
+
+* **Cache stress** — N writer processes and M reader processes hammer one
+  cache directory concurrently; one extra writer is SIGKILLed mid-write.
+  The invariant under test is the segment store's crash-safety contract:
+  a reader never sees a torn record (CRC + length validation make a
+  partial tail read as a miss), every surviving writer's entries stay
+  readable, and offline compaction preserves all of them.
+* **Serve soak** — several client threads mix real compiles with injected
+  raise/hang/exit faults against one daemon; every real compile must
+  still come back bit-identical to the sequential reference while the
+  pool keeps healing underneath.
+
+These fork dozens of processes and kill some of them, which is too heavy
+for the tier-1 loop — `setup.cfg` deselects the `stress` marker by
+default and the nightly workflow opts back in.
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.service.cache import SynthesisCache
+
+pytestmark = pytest.mark.stress
+
+_CTX = multiprocessing.get_context("fork")
+
+
+def _writer_proc(directory, writer_id, count, start_gate):
+    cache = SynthesisCache(capacity=32, directory=directory)
+    start_gate.wait()
+    for i in range(count):
+        cache.put(f"w{writer_id}-{i}", {"writer": writer_id, "value": i, "pad": b"x" * 512})
+    cache.flush()
+    cache.close()
+
+
+def _victim_proc(directory, start_gate):
+    # Writes as fast as possible until SIGKILLed — the kill lands mid-append
+    # with high probability, leaving a torn record at its segment tail.
+    cache = SynthesisCache(capacity=32, directory=directory)
+    start_gate.wait()
+    i = 0
+    while True:
+        cache.put(f"victim-{i}", {"victim": True, "pad": b"y" * 2048})
+        i += 1
+
+
+def _reader_proc(directory, writer_ids, count, start_gate, stop_gate):
+    # Loop over every expected key while writers are racing; any exception
+    # (torn pickle, bad CRC handling, ...) crashes this process and fails
+    # the test via its exit code.  A key is either absent or fully correct.
+    cache = SynthesisCache(capacity=32, directory=directory)
+    start_gate.wait()
+    while not stop_gate.is_set():
+        for writer_id in writer_ids:
+            for i in range(0, count, 7):
+                value = cache.get(f"w{writer_id}-{i}")
+                if value is not None:
+                    assert value["writer"] == writer_id
+                    assert value["value"] == i
+        time.sleep(0.001)
+
+
+def test_cache_survives_concurrent_writers_readers_and_a_kill(tmp_path):
+    directory = str(tmp_path / "store")
+    writers, entries = 3, 200
+    start_gate = _CTX.Event()
+    stop_gate = _CTX.Event()
+
+    writer_procs = [
+        _CTX.Process(target=_writer_proc, args=(directory, w, entries, start_gate))
+        for w in range(writers)
+    ]
+    victim = _CTX.Process(target=_victim_proc, args=(directory, start_gate))
+    readers = [
+        _CTX.Process(
+            target=_reader_proc,
+            args=(directory, list(range(writers)), entries, start_gate, stop_gate),
+        )
+        for _ in range(2)
+    ]
+    for proc in writer_procs + [victim] + readers:
+        proc.start()
+    start_gate.set()
+
+    for proc in writer_procs:
+        proc.join(timeout=120.0)
+        assert proc.exitcode == 0
+    # Kill the victim while it is still streaming appends.
+    assert victim.is_alive()
+    os.kill(victim.pid, signal.SIGKILL)
+    victim.join(timeout=30.0)
+    stop_gate.set()
+    for proc in readers:
+        proc.join(timeout=30.0)
+        assert proc.exitcode == 0, "a reader crashed on concurrently-written data"
+
+    # A fresh instance (as a restarted daemon would be) sees every entry of
+    # every completed writer, despite the SIGKILLed writer's torn tail.
+    fresh = SynthesisCache(directory=directory)
+    for writer_id in range(writers):
+        for i in range(entries):
+            value = fresh.get(f"w{writer_id}-{i}")
+            assert value is not None, f"lost w{writer_id}-{i}"
+            assert value["value"] == i
+
+    # Compaction folds all segments (including the victim's valid prefix)
+    # into one and loses nothing.
+    outcome = fresh.compact()
+    assert outcome["entries"] >= writers * entries
+    compacted = SynthesisCache(directory=directory)
+    for writer_id in range(writers):
+        for i in range(entries):
+            assert compacted.get(f"w{writer_id}-{i}") == {
+                "writer": writer_id,
+                "value": i,
+                "pad": b"x" * 512,
+            }
+
+
+def test_killed_mid_write_cache_stays_readable_repeatedly(tmp_path):
+    # Tighter loop on the torn-tail invariant: kill a streaming writer at
+    # random points several times; the directory must stay fully readable
+    # (whatever made it to disk intact) after every kill.
+    directory = str(tmp_path / "store")
+    baseline = SynthesisCache(directory=directory)
+    for i in range(20):
+        baseline.put(f"stable-{i}", i)
+    baseline.flush()
+    baseline.close()
+
+    for round_index in range(4):
+        gate = _CTX.Event()
+        victim = _CTX.Process(target=_victim_proc, args=(directory, gate))
+        victim.start()
+        gate.set()
+        time.sleep(0.05 * (round_index + 1))
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=30.0)
+
+        reader = SynthesisCache(directory=directory)
+        for i in range(20):
+            assert reader.get(f"stable-{i}") == i
+        reader.close()
+
+
+def test_serve_soak_mixed_faults_and_compiles(tmp_path):
+    import threading
+
+    from repro.experiments.common import build_compilers
+    from repro.qasm import dumps
+    from repro.service.server import CompileServer, ServeClient, ServeConfig, ServeError
+    from repro.workloads.algorithms import qft_circuit
+
+    circuits = [qft_circuit(n) for n in (3, 4, 5)]
+    registry = build_compilers(["reqisc-eff"], seed=0)
+    expected = {c.name: dumps(registry["reqisc-eff"].compile(c).circuit) for c in circuits}
+
+    config = ServeConfig(
+        address=str(tmp_path / "soak.sock"),
+        workers=2,
+        job_timeout=30.0,
+        cache_dir=None,
+        enable_fault_injection=True,
+    )
+    failures = []
+    fault_codes = {"raise": "compile-error", "exit": "worker-crash", "hang": "timeout"}
+    with CompileServer(config) as server:
+        def soak(thread_index):
+            faults = ["raise", "exit", "hang"]
+            try:
+                with ServeClient(server.config.address) as client:
+                    for round_index in range(6):
+                        circuit = circuits[(thread_index + round_index) % len(circuits)]
+                        qasm = dumps(circuit)
+                        fault = faults[(thread_index + round_index) % len(faults)]
+                        try:
+                            client.compile(qasm, fault=fault, timeout=0.5, seed=thread_index)
+                            failures.append(f"fault {fault} did not fail")
+                        except ServeError as exc:
+                            if exc.code != fault_codes[fault]:
+                                failures.append(f"fault {fault} -> {exc.code}")
+                        response = client.compile(qasm)
+                        if response["qasm"] != expected[circuit.name]:
+                            failures.append(f"divergent output for {circuit.name}")
+            except Exception as exc:  # noqa: BLE001 — surfaced via `failures`
+                failures.append(f"thread {thread_index}: {type(exc).__name__}: {exc}")
+
+        threads = [threading.Thread(target=soak, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        pool_stats = server.snapshot()["pool"]
+
+    assert failures == []
+    assert pool_stats["alive"] == config.workers  # the pool healed every time
+    assert pool_stats["crashes"] > 0 and pool_stats["timeouts"] > 0

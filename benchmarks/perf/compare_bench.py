@@ -27,7 +27,7 @@ import sys
 from typing import Any, Dict, List, Tuple
 
 #: Report sections whose ``bit_identical`` flag gates the build.
-BIT_IDENTITY_SECTIONS = ("routing", "equivalence", "ir", "qasm", "serve")
+BIT_IDENTITY_SECTIONS = ("routing", "equivalence", "ir", "incr", "qasm", "serve")
 
 
 def load_report(path: str) -> Dict[str, Any]:

@@ -8,7 +8,7 @@ single-qubit corrections, and trivial (identity-class) blocks are dropped.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.compiler.passes.base import CompilerPass
 from repro.gates.gate import UnitaryGate
@@ -25,25 +25,51 @@ class FinalizeToCanPass(CompilerPass):
     then the single-qubit merge runs as the shared IR kernel.  The
     circuit-level :meth:`run` entry keeps working through the base-class
     adapter.
+
+    With a memo store attached, each 2Q decomposition is additionally
+    memoized per gate content: the ``{Can, U3}`` expansion of a block is a
+    pure function of its unitary, so an edited program replays every
+    untouched block's (expensive KAK) decomposition from the store.
     """
 
     name = "finalize_to_can"
     consumes = "ir"
     produces = "ir"
+    memo_safe = True
 
-    def __init__(self, merge_single_qubit: bool = True) -> None:
+    def __init__(self, merge_single_qubit: bool = True, memo: Optional[Any] = None) -> None:
         self.merge_single_qubit = merge_single_qubit
+        self.memo = memo
+
+    def memo_config(self) -> Optional[str]:
+        return f"merge={self.merge_single_qubit}"
 
     def run_ir(self, ir: CircuitIR, properties: Dict[str, Any]) -> CircuitIR:
+        memo = self.memo
         for node in list(ir.nodes()):
             instruction = ir.instruction(node)
             gate = instruction.gate
             if gate.num_qubits == 2 and (isinstance(gate, UnitaryGate) or gate.name != "can"):
-                synthesized = two_qubit_to_can_circuit(gate.matrix, qubits=(0, 1))
+                synthesized = self._synthesize(gate, memo)
                 mapping = {0: instruction.qubits[0], 1: instruction.qubits[1]}
                 ir.replace_block([node], [sub.remap(mapping) for sub in synthesized])
         if self.merge_single_qubit:
             from repro.compiler.passes.peephole import _merge_one_qubit_runs_ir
 
-            _merge_one_qubit_runs_ir(ir)
+            _merge_one_qubit_runs_ir(ir, memo=memo)
         return ir
+
+    @staticmethod
+    def _synthesize(gate, memo):
+        """``{Can, U3}`` instructions for ``gate`` on local wires ``(0, 1)``."""
+        if memo is None:
+            return list(two_qubit_to_can_circuit(gate.matrix, qubits=(0, 1)))
+        from repro.incremental import MISS, gate_region_key
+
+        key = gate_region_key(gate, "finalize-can")
+        cached = memo.lookup("region", key)
+        if cached is not MISS:
+            return cached
+        synthesized = list(two_qubit_to_can_circuit(gate.matrix, qubits=(0, 1)))
+        memo.store("region", key, synthesized)
+        return synthesized

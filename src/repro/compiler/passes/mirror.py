@@ -10,7 +10,7 @@ The accumulated permutation is stored in the pass properties under
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.circuits.instruction import Instruction
 from repro.compiler.passes.base import CompilerPass
@@ -36,9 +36,14 @@ class MirrorNearIdentityPass(CompilerPass):
     name = "mirror_near_identity"
     consumes = "ir"
     produces = "ir"
+    memo_safe = True
 
-    def __init__(self, threshold: float = 0.15) -> None:
+    def __init__(self, threshold: float = 0.15, memo: Optional[Any] = None) -> None:
         self.threshold = threshold
+        self.memo = memo
+
+    def memo_config(self) -> Optional[str]:
+        return f"threshold={self.threshold!r}"
 
     def run_ir(self, ir: CircuitIR, properties: Dict[str, Any]) -> CircuitIR:
         permutation: List[int] = list(range(ir.num_qubits))
@@ -48,8 +53,7 @@ class MirrorNearIdentityPass(CompilerPass):
             wires = tuple(permutation[q] for q in instruction.qubits)
             gate = instruction.gate
             if gate.num_qubits == 2:
-                coords = self._coordinates(gate)
-                if coords is not None and is_near_identity(coords, self.threshold):
+                if self._should_mirror(gate):
                     mirrored = UnitaryGate(_SWAP @ gate.matrix, label="su4")
                     ir.substitute_node(node, Instruction(mirrored, wires))
                     # The logical SWAP is resolved by exchanging the wires that
@@ -64,11 +68,31 @@ class MirrorNearIdentityPass(CompilerPass):
         properties["mirrored_gate_count"] = mirrored_count
         return ir
 
-    @staticmethod
-    def _coordinates(gate) -> tuple:
+    def _should_mirror(self, gate) -> bool:
+        """Near-identity decision for ``gate``, memoized per gate content.
+
+        Only the boolean is cached (the mirrored gate itself is recomputed
+        deterministically as ``SWAP @ matrix``), and only for explicit-matrix
+        gates — the Weyl decomposition is what costs; ``can`` gates read
+        their coordinates straight from the parameters.
+        """
         if gate.name == "can":
-            return tuple(gate.params)
+            return is_near_identity(tuple(gate.params), self.threshold)
+        if self.memo is not None:
+            from repro.incremental import MISS, gate_region_key
+
+            key = gate_region_key(gate, "mirror", f"threshold={self.threshold!r}")
+            cached = self.memo.lookup("region", key)
+            if cached is not MISS:
+                return cached
+            decision = self._near_identity(gate)
+            self.memo.store("region", key, decision)
+            return decision
+        return self._near_identity(gate)
+
+    def _near_identity(self, gate) -> bool:
         try:
-            return weyl_coordinates(gate.matrix)
+            coords = weyl_coordinates(gate.matrix)
         except Exception:  # pragma: no cover - defensive
-            return None
+            return False
+        return is_near_identity(coords, self.threshold)

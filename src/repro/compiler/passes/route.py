@@ -37,6 +37,11 @@ class SabreRoutingPass(CompilerPass):
     name = "sabre_route"
     consumes = "ir"
     produces = "ir"
+    # SABRE's lookahead makes every routing decision depend on global
+    # context, so there is no bit-identical region splice — but the whole
+    # pass is a pure function of (program, topology, settings) and memoizes
+    # at pass granularity.
+    memo_safe = True
 
     def __init__(
         self,
@@ -51,6 +56,29 @@ class SabreRoutingPass(CompilerPass):
         self.seed = seed
         self.lookahead_size = lookahead_size
         self.lookahead_weight = lookahead_weight
+
+    def memo_config(self) -> Optional[str]:
+        if self.coupling_map is None:
+            # No-op configuration: memoizing would store the whole program
+            # for nothing.
+            return None
+        import hashlib
+        import json
+
+        topology = hashlib.sha256(
+            json.dumps(
+                {
+                    "num_qubits": self.coupling_map.num_qubits,
+                    "edges": sorted(self.coupling_map.edges),
+                },
+                sort_keys=True,
+            ).encode("utf-8")
+        ).hexdigest()
+        return (
+            f"mirroring={self.mirroring};seed={self.seed};"
+            f"lookahead={self.lookahead_size}:{self.lookahead_weight!r};"
+            f"topology={topology}"
+        )
 
     def run_ir(self, ir: CircuitIR, properties: Dict[str, Any]) -> CircuitIR:
         if self.coupling_map is None:

@@ -369,6 +369,34 @@ class SynthesisCache:
                 "legacy_removed": legacy_removed,
             }
 
+    def disk_stats(self) -> Dict[str, int]:
+        """Disk-tier inventory: live entries, segment files and total bytes.
+
+        Refreshes the segment view first, so the numbers include records
+        appended by other processes since this cache was opened.  Legacy
+        one-pickle-per-entry files are not counted (``compact`` folds them
+        into the segment store).
+        """
+        with self._lock:
+            if self.directory is None:
+                return {"entries": 0, "segments": 0, "bytes": 0}
+            self._refresh_segments()
+            segment_dir = os.path.join(self.directory, _SEGMENT_DIR)
+            segments = 0
+            total_bytes = 0
+            try:
+                for entry in os.scandir(segment_dir):
+                    if entry.is_file() and entry.name.endswith(_SEGMENT_SUFFIX):
+                        segments += 1
+                        total_bytes += entry.stat().st_size
+            except OSError:
+                pass
+            return {
+                "entries": len(self._seg_index),
+                "segments": segments,
+                "bytes": total_bytes,
+            }
+
     def close(self) -> None:
         """Flush the index and close this process's segment file."""
         with self._lock:

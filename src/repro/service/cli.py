@@ -35,7 +35,15 @@ registered compilers (``reqisc-full`` / ``reqisc-eff`` / baselines, see
 ``submit``
     Client for a running daemon: compile OpenQASM 2.0 files over the
     socket (``repro submit prog.qasm``), or probe it with ``--ping`` /
-    ``--stats`` / ``--shutdown``.
+    ``--stats`` / ``--shutdown``.  ``--session NAME`` opens an incremental
+    compile session: edited resubmissions replay every memoized pass and
+    region on the session's pinned worker (see ``docs/incremental.md``).
+
+``cache``
+    Maintain the on-disk segment store shared by the synthesis cache and
+    the incremental pass-memo store: ``repro cache stats`` reports live
+    entries / segment files / bytes, ``repro cache compact`` folds every
+    live record into one fresh segment.
 
 ``perf``
     Run the :mod:`repro.perf` microbenchmark harness (compile / route /
@@ -64,6 +72,9 @@ Examples::
     python -m repro suite --compiler reqisc-full --scale tiny --workers 4 --csv
     python -m repro suite --compiler reqisc-eff --target xy-line --format json
     python -m repro suite --compiler reqisc-eff --qasm a.qasm --qasm b.qasm
+    python -m repro compile prog.qasm --memo
+    python -m repro submit edit1.qasm edit2.qasm --session mysession
+    python -m repro cache stats
     python -m repro targets
 """
 
@@ -188,6 +199,15 @@ def build_parser() -> argparse.ArgumentParser:
     source.add_argument("--qasm", metavar="PATH", help="OpenQASM 2.0 file to compile")
     compile_parser.add_argument(
         "--compiler", default="reqisc-full", metavar="NAME", help="compiler name (default: reqisc-full)"
+    )
+    compile_parser.add_argument(
+        "--memo",
+        action="store_true",
+        help=(
+            "enable content-addressed pass memoization: identical regions are "
+            "synthesized once and the summary reports memo hit/miss counters "
+            "(bit-identical output; see docs/incremental.md)"
+        ),
     )
     _add_common_arguments(compile_parser)
 
@@ -323,6 +343,17 @@ def build_parser() -> argparse.ArgumentParser:
     submit_parser.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS", help="per-job deadline override"
     )
+    submit_parser.add_argument(
+        "--session",
+        metavar="NAME",
+        default=None,
+        help=(
+            "incremental compile session: submissions under the same session "
+            "are pinned to one daemon worker whose pass-memo store replays "
+            "every unchanged pass/region of an edited program "
+            "(see docs/incremental.md)"
+        ),
+    )
     submit_parser.add_argument("--ping", action="store_true", help="liveness probe, then exit")
     submit_parser.add_argument("--stats", action="store_true", help="print the daemon's counter snapshot")
     submit_parser.add_argument(
@@ -330,6 +361,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_output_arguments(submit_parser)
     _add_emit_argument(submit_parser)
+
+    cache_parser = subparsers.add_parser(
+        "cache",
+        help="inspect or compact the on-disk synthesis/memo cache",
+        description=(
+            "Maintain the append-only segment store shared by the synthesis "
+            "cache and the incremental pass-memo store: `stats` reports live "
+            "entries, segment files and bytes on disk; `compact` folds every "
+            "live record into one fresh segment and deletes the superseded "
+            "files (run it without concurrent writers)."
+        ),
+    )
+    cache_parser.add_argument(
+        "action", choices=("stats", "compact"), help="what to do with the cache directory"
+    )
+    cache_parser.add_argument(
+        "--cache-dir",
+        default=_DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"cache directory to operate on (default: {_DEFAULT_CACHE_DIR})",
+    )
+    cache_parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
     perf_parser = subparsers.add_parser(
         "perf",
@@ -348,7 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--only",
         metavar="KIND",
         action="append",
-        choices=("compile", "route", "ir", "qasm", "serve", "synthesize", "simulate"),
+        choices=("compile", "route", "incr", "ir", "qasm", "serve", "synthesize", "simulate"),
         help="restrict to one benchmark kind (repeatable; default: all)",
     )
     perf_parser.add_argument("--seed", type=int, default=42, help="workload seed (default: 42)")
@@ -556,7 +609,10 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     registry = build_compilers(
         [args.compiler], seed=args.seed, synthesis_cache=cache, target=target
     )
-    result = registry[args.compiler].compile(circuit)
+    engine = registry[args.compiler]
+    if args.memo:
+        engine.memo = True  # compile() builds a PassMemoStore backed by `cache`
+    result = engine.compile(circuit)
     elapsed = time.perf_counter() - start
 
     if args.emit == "qasm":
@@ -584,6 +640,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
             {
                 "pass": record.name,
                 "seconds": record.seconds,
+                "cached": "memo" if record.cached else "-",
                 "gates": f"{record.gates_before}->{record.gates_after}",
                 "2q": f"{record.two_qubit_before}->{record.two_qubit_after}",
                 "depth": f"{record.depth_before}->{record.depth_after}",
@@ -842,6 +899,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                     seed=args.seed,
                     target=args.target,
                     timeout=args.timeout,
+                    session=args.session,
                 )
             except ServeError as exc:
                 errors.append((name, f"[{exc.code}] {exc.message}"))
@@ -877,6 +935,38 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         return 1 if errors else 0
     finally:
         client.close()
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.service.cache import SynthesisCache
+
+    if not os.path.isdir(args.cache_dir):
+        raise SystemExit(f"no cache directory at {args.cache_dir!r}")
+    cache = SynthesisCache(capacity=1, directory=args.cache_dir)
+    try:
+        if args.action == "stats":
+            payload = cache.disk_stats()
+        else:
+            payload = cache.compact()
+    finally:
+        cache.close()
+    payload = {"cache_dir": args.cache_dir, "action": args.action, **payload}
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    elif args.action == "stats":
+        print(
+            "cache {cache_dir}: {entries} entries in {segments} segment file(s), "
+            "{mib:.1f} MiB on disk".format(mib=payload["bytes"] / (1024 * 1024), **payload)
+        )
+    else:
+        print(
+            "compacted {cache_dir}: {entries} live entries kept, "
+            "{segments_removed} segment file(s) removed, "
+            "{legacy_removed} legacy file(s) removed".format(**payload)
+        )
+    return 0
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:
@@ -934,6 +1024,15 @@ def _cmd_perf(args: argparse.Namespace) -> int:
                 "p50={latency_p50_ms:.1f}ms p99={latency_p99_ms:.1f}ms, "
                 "bit_identical={bit_identical}".format(**serve_section)
             )
+        incr_section = report.get("incr")
+        if incr_section:
+            print(
+                "incr: {speedup:.2f}x edit-recompile over from-scratch "
+                "({from_scratch_seconds:.3f}s -> {incremental_seconds:.3f}s, "
+                "{num_gates} gates, {num_edits}-gate edits), "
+                "memo hits={memo_hits} misses={memo_misses}, "
+                "bit_identical={bit_identical}".format(**incr_section)
+            )
         ir_section = report.get("ir")
         if ir_section:
             print(
@@ -958,6 +1057,7 @@ _COMMANDS = {
     "targets": _cmd_targets,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "cache": _cmd_cache,
     "perf": _cmd_perf,
 }
 

@@ -30,6 +30,7 @@ Isolation properties (proven by ``tests/test_service_server.py``):
 from __future__ import annotations
 
 import collections
+import hashlib
 import multiprocessing
 import os
 import queue
@@ -52,8 +53,10 @@ class PoolJob:
     """One compile job, picklable for the worker boundary.
 
     ``key`` is the request's content-hash (dedup identity); it also selects
-    the shard.  ``fault`` is the test-only injected failure mode (see
-    :data:`repro.service.protocol.FAULT_MODES`).
+    the shard, unless ``session`` is set — session jobs are pinned to the
+    session's shard so edited resubmissions hit the same worker's warm
+    per-session pass-memo store.  ``fault`` is the test-only injected
+    failure mode (see :data:`repro.service.protocol.FAULT_MODES`).
     """
 
     key: str
@@ -63,6 +66,7 @@ class PoolJob:
     target: Optional[str] = None
     timeout: float = 60.0
     fault: Optional[str] = None
+    session: Optional[str] = None
 
 
 @dataclass
@@ -91,7 +95,11 @@ class _WorkerSlot:
     generation: int = 0
 
 
-def _execute_job(job: PoolJob, cache) -> Tuple[bool, Any, Optional[str], Optional[str]]:
+#: Per-worker bound on live session memo stores (oldest evicted first).
+_MAX_SESSION_MEMOS = 8
+
+
+def _execute_job(job: PoolJob, cache, memo=None) -> Tuple[bool, Any, Optional[str], Optional[str]]:
     """Worker-side job body; returns (ok, payload, error_code, error_message)."""
     from repro.service.protocol import ERR_COMPILE
 
@@ -107,26 +115,54 @@ def _execute_job(job: PoolJob, cache) -> Tuple[bool, Any, Optional[str], Optiona
     from repro.service.cache import CacheStats
 
     before = cache.stats.snapshot() if cache is not None else CacheStats()
+    memo_before = memo.stats.snapshot() if memo is not None else None
     start = time.perf_counter()
     try:
         circuit = loads(job.qasm)
         registry = build_compilers(
             [job.compiler], seed=job.seed, synthesis_cache=cache, target=job.target
         )
-        result = registry[job.compiler].compile(circuit)
+        engine = registry[job.compiler]
+        engine.memo = memo
+        result = engine.compile(circuit)
     except QasmError as exc:
         return False, None, ERR_COMPILE, f"QasmError: {exc}"
     except Exception as exc:  # noqa: BLE001 — a poisoned circuit fails alone
         return False, None, ERR_COMPILE, f"{type(exc).__name__}: {exc}"
     elapsed = time.perf_counter() - start
     delta = cache.stats.delta_since(before) if cache is not None else CacheStats()
+    counters = delta.as_dict()
+    if memo is not None:
+        memo_delta = memo.stats.delta_since(memo_before)
+        counters.update({f"memo_{k}": v for k, v in memo_delta.as_dict().items()})
     payload = {
         "qasm": dumps(result.circuit),
         "summary": result.summary(),
-        "cache": delta.as_dict(),
+        "cache": counters,
         "compile_seconds": elapsed,
     }
     return True, payload, None, None
+
+
+def _session_memo(session: Optional[str], memos, cache):
+    """Fetch-or-create the worker's memo store for ``session`` (LRU, bounded).
+
+    Session stores share the worker's warm :class:`SynthesisCache` when one
+    exists — memo entries then persist through the same disk segment store —
+    and otherwise own a private in-memory cache.
+    """
+    if session is None:
+        return None
+    memo = memos.pop(session, None)
+    if memo is None:
+        from repro.incremental import PassMemoStore
+
+        memo = PassMemoStore(backing=cache) if cache is not None else PassMemoStore()
+    memos[session] = memo  # most-recently-used position
+    while len(memos) > _MAX_SESSION_MEMOS:
+        _, evicted = memos.popitem(last=False)
+        evicted.close()
+    return memo
 
 
 def _worker_main(worker_index: int, inbox, outbox, cache_spec) -> None:
@@ -138,6 +174,7 @@ def _worker_main(worker_index: int, inbox, outbox, cache_spec) -> None:
     if cache_spec is not None:
         capacity, directory = cache_spec
         cache = SynthesisCache(capacity=capacity, directory=directory)
+    memos: "collections.OrderedDict[str, Any]" = collections.OrderedDict()
     try:
         while True:
             job = inbox.get()
@@ -145,13 +182,16 @@ def _worker_main(worker_index: int, inbox, outbox, cache_spec) -> None:
                 break
             start = time.perf_counter()
             try:
-                ok, payload, code, message = _execute_job(job, cache)
+                memo = _session_memo(job.session, memos, cache)
+                ok, payload, code, message = _execute_job(job, cache, memo)
             except Exception as exc:  # noqa: BLE001 — report, don't die
                 ok, payload = False, None
                 code, message = ERR_COMPILE, f"{type(exc).__name__}: {exc}"
             elapsed = time.perf_counter() - start
             outbox.put((job.key, ok, payload, code, message, elapsed))
     finally:
+        for memo in memos.values():
+            memo.close()
         if cache is not None:
             cache.close()
 
@@ -208,7 +248,9 @@ class WorkerPool:
         if self._closed.is_set():
             raise RuntimeError("pool is shut down")
         future: "Future[JobOutcome]" = Future()
-        slot = self._slots[self._shard(job.key)]
+        # Session jobs pin to the session's shard (warm memo store); plain
+        # jobs shard by content hash (warm memory-tier synthesis cache).
+        slot = self._slots[self._shard(job.session or job.key)]
         with self._lock:
             slot.backlog.append((job, future))
             self._dispatch(slot)
@@ -261,7 +303,12 @@ class WorkerPool:
         try:
             return int(key[:8], 16) % self.workers
         except ValueError:
-            return hash(key) % self.workers
+            # Session names are arbitrary strings, not hex digests: hash them
+            # deterministically (`hash()` is salted per process) so a session
+            # maps to the same shard across daemon restarts with a warm disk
+            # cache.
+            digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+            return int(digest[:8], 16) % self.workers
 
     def _spawn(self, slot: _WorkerSlot) -> None:
         slot.inbox = self._ctx.Queue()

@@ -15,6 +15,10 @@ Requests carry an ``op``:
     ``{"op": "compile", "id": ..., "qasm": "...", "compiler": "reqisc-eff",
     "seed": 0, "target": null, "timeout": 30.0}`` — compile an OpenQASM 2.0
     program.  ``id`` is an arbitrary client token echoed back verbatim.
+    ``session`` (optional string) names an incremental compile session:
+    jobs sharing a session are pinned to one worker, which keeps a
+    per-session pass-memo store so edited resubmissions replay every
+    unchanged pass and region (see ``docs/incremental.md``).
     ``fault`` (``raise`` / ``hang`` / ``exit``) is only accepted when the
     server was started with fault injection enabled (test harnesses).
 ``ping`` / ``stats`` / ``shutdown``
@@ -163,7 +167,7 @@ def validate_request(frame: Dict[str, Any], *, allow_fault: bool = False) -> Dic
         raise ProtocolError(f"unknown op {op!r}; expected one of {', '.join(_OPS)}")
     allowed = {"op", "id"}
     if op == "compile":
-        allowed |= {"qasm", "compiler", "seed", "target", "timeout", "fault"}
+        allowed |= {"qasm", "compiler", "seed", "target", "timeout", "fault", "session"}
     unknown = set(frame) - allowed
     if unknown:
         raise ProtocolError(f"unknown field(s) for op {op!r}: {', '.join(sorted(unknown))}")
@@ -195,9 +199,12 @@ def validate_request(frame: Dict[str, Any], *, allow_fault: bool = False) -> Dic
             raise ProtocolError(f"unknown fault {fault!r}; expected one of {', '.join(FAULT_MODES)}")
         if not allow_fault:
             raise ProtocolError("fault injection is disabled on this server")
+    session = frame.get("session")
+    if session is not None and (not isinstance(session, str) or not session.strip()):
+        raise ProtocolError("'session' must be a non-empty string or null")
     request.update(
         {"qasm": qasm, "compiler": compiler, "seed": seed, "target": target,
-         "timeout": timeout, "fault": fault}
+         "timeout": timeout, "fault": fault, "session": session}
     )
     return request
 

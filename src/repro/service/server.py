@@ -359,6 +359,11 @@ class CompileServer:
         # Job identity: exact circuit content + everything that can change
         # the compiled bytes.  The injected fault participates so a hanging
         # probe never coalesces with a real compile of the same circuit.
+        # The session participates too: a sessioned job must reach its
+        # session's worker shard to warm the per-session pass-memo store,
+        # so it never coalesces with a sessionless compile of the same
+        # circuit (the results are still bit-identical either way).
+        session = request["session"]
         key = circuit_fingerprint(
             circuit,
             "serve",
@@ -366,6 +371,7 @@ class CompileServer:
             str(target),
             str(request["seed"]),
             str(request["fault"]),
+            str(session),
         )
         timeout = request["timeout"] or self.config.job_timeout
 
@@ -399,6 +405,7 @@ class CompileServer:
                     target=target,
                     timeout=timeout,
                     fault=request["fault"],
+                    session=session,
                 )
                 future = self._pool.submit(job)
                 self._inflight[key] = future
@@ -579,12 +586,18 @@ class ServeClient:
         target: Optional[str] = None,
         timeout: Optional[float] = None,
         fault: Optional[str] = None,
+        session: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Compile one OpenQASM 2.0 program; raises :class:`ServeError` on failure.
 
         The success response carries ``qasm`` (the compiled program),
         ``summary`` (the metric row), ``key`` (the dedup content hash),
         ``cached`` (``"no"`` / ``"result"``) and ``compile_seconds``.
+
+        ``session`` names an incremental compile session: resubmitting an
+        edited program under the same session replays every memoized pass
+        and region on the session's pinned worker (bit-identical output).
+        The field is only sent when set, so older daemons keep working.
         """
         message: Dict[str, Any] = {
             "op": "compile",
@@ -597,4 +610,6 @@ class ServeClient:
             message["timeout"] = timeout
         if fault is not None:
             message["fault"] = fault
+        if session is not None:
+            message["session"] = session
         return self._checked(message)

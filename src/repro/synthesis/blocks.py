@@ -10,7 +10,7 @@ minimal number of CNOTs) and the template library's post-assembly fusion.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Literal, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Literal, Optional, Tuple
 
 import numpy as np
 
@@ -188,10 +188,41 @@ def consolidate_blocks(
     return result
 
 
+def _fuse_block_memo(
+    block: TwoQubitBlock, form: OutputForm, only_if_fewer_gates: bool, memo: Any
+) -> Optional[List[Instruction]]:
+    """Memoized :func:`_fuse_block`: keyed by the block's *local* content.
+
+    The block is relabelled onto local wires ``(0, 1)`` (the same mapping
+    :func:`block_unitary` uses), so structurally identical runs on different
+    qubit pairs share one entry; a hit remaps the cached local replacement
+    back onto the block's wires — bit-identical to recomputation because the
+    fused result depends on the wires only through that relabelling.
+    """
+    from repro.incremental import MISS, region_fingerprint
+
+    mapping = {block.qubits[0]: 0, block.qubits[1]: 1}
+    local = [instr.remap(mapping) for instr in block.instructions]
+    key = region_fingerprint(local, "fuse", form, f"fewer={only_if_fewer_gates}")
+    cached = memo.lookup("region", key)
+    if cached is not MISS:
+        if cached is None:
+            return None
+        inverse = {0: block.qubits[0], 1: block.qubits[1]}
+        return [instr.remap(inverse) for instr in cached]
+    replacement = _fuse_block(block, form, only_if_fewer_gates)
+    if replacement is None:
+        memo.store("region", key, None)
+        return None
+    memo.store("region", key, [instr.remap(mapping) for instr in replacement])
+    return replacement
+
+
 def consolidate_blocks_ir(
     ir,
     form: OutputForm = "unitary",
     only_if_fewer_gates: bool = False,
+    memo: Optional[Any] = None,
 ) -> None:
     """In-place block consolidation of a :class:`repro.ir.CircuitIR`.
 
@@ -199,11 +230,15 @@ def consolidate_blocks_ir(
     — each maximal run is collapsed onto the position of its first member via
     :meth:`~repro.ir.CircuitIR.replace_block`, leftovers keep their nodes
     untouched — so the resulting instruction sequence is bit-identical to the
-    flat-circuit path.
+    flat-circuit path.  ``memo`` optionally memoizes each block's fusion per
+    block content (see :func:`_fuse_block_memo`).
     """
     blocks, _ = _collect_blocks([(node, ir.instruction(node)) for node in ir.nodes()])
     for block in blocks:
-        replacement = _fuse_block(block, form, only_if_fewer_gates)
+        if memo is not None:
+            replacement = _fuse_block_memo(block, form, only_if_fewer_gates, memo)
+        else:
+            replacement = _fuse_block(block, form, only_if_fewer_gates)
         if replacement is None:
             # Kept run: the flat path still collapses it onto the block's
             # start position, which only matters when other instructions are

@@ -51,6 +51,9 @@ class PassContext:
     target: Any  # repro.target.target.Target (typed loosely to avoid cycles)
     seed: int = 0
     synthesis_cache: Optional[Any] = None
+    #: Optional :class:`repro.incremental.PassMemoStore` threaded into the
+    #: memo-aware passes for region-level memoization.
+    memo: Optional[Any] = None
 
 
 class PassRegistry:
@@ -249,7 +252,7 @@ def _make_hierarchical_synthesis(config: Mapping[str, Any], context: PassContext
 def _make_fuse(config: Mapping[str, Any], context: PassContext) -> CompilerPass:
     from repro.compiler.passes.fuse import Fuse2QBlocksPass
 
-    return Fuse2QBlocksPass(form=config.get("form", "unitary"))
+    return Fuse2QBlocksPass(form=config.get("form", "unitary"), memo=context.memo)
 
 
 @PASS_REGISTRY.register(
@@ -258,7 +261,9 @@ def _make_fuse(config: Mapping[str, Any], context: PassContext) -> CompilerPass:
 def _make_mirror(config: Mapping[str, Any], context: PassContext) -> CompilerPass:
     from repro.compiler.passes.mirror import MirrorNearIdentityPass
 
-    return MirrorNearIdentityPass(threshold=config.get("threshold", 0.15))
+    return MirrorNearIdentityPass(
+        threshold=config.get("threshold", 0.15), memo=context.memo
+    )
 
 
 @PASS_REGISTRY.register(
@@ -282,7 +287,9 @@ def _make_route(config: Mapping[str, Any], context: PassContext) -> CompilerPass
 def _make_finalize(config: Mapping[str, Any], context: PassContext) -> CompilerPass:
     from repro.compiler.passes.finalize import FinalizeToCanPass
 
-    return FinalizeToCanPass(merge_single_qubit=config.get("merge_single_qubit", True))
+    return FinalizeToCanPass(
+        merge_single_qubit=config.get("merge_single_qubit", True), memo=context.memo
+    )
 
 
 @PASS_REGISTRY.register("decompose_cnot", description="lower everything to {CX, 1Q}")

@@ -64,12 +64,14 @@ def test_run_perf_schema_and_file(tmp_path):
         "routing",
         "equivalence",
         "ir",
+        "incr",
         "qasm",
         "serve",
         "cache",
     }
     assert report["routing"] is None  # route kind not selected
     assert report["ir"] is None  # ir kind not selected
+    assert report["incr"] is None  # incr kind not selected
     assert report["qasm"] is None  # qasm kind not selected
     assert report["serve"] is None  # serve kind not selected
     for record in report["benchmarks"]:

@@ -97,6 +97,7 @@ def test_validate_compile_fills_defaults():
         "seed": 0,
         "target": None,
         "timeout": None,
+        "session": None,
         "fault": None,
     }
 

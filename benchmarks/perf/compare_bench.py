@@ -27,7 +27,7 @@ import sys
 from typing import Any, Dict, List, Tuple
 
 #: Report sections whose ``bit_identical`` flag gates the build.
-BIT_IDENTITY_SECTIONS = ("routing", "equivalence", "ir", "incr", "qasm", "serve")
+BIT_IDENTITY_SECTIONS = ("routing", "equivalence", "ir", "incr", "qasm", "serve", "chaos")
 
 
 def load_report(path: str) -> Dict[str, Any]:
@@ -45,6 +45,14 @@ def self_check(report: Dict[str, Any], label: str) -> List[str]:
         payload = report.get(section)
         if payload is not None and payload.get("bit_identical") is not True:
             failures.append(f"{label}: {section} is not bit-identical: {payload}")
+    # The chaos soak's verdict is stricter than bit identity alone: it also
+    # fails on unrecovered jobs, hung clients and unscrubbed corruption.
+    chaos = report.get("chaos")
+    if chaos is not None and chaos.get("ok") is not True:
+        failures.append(
+            f"{label}: chaos soak failed (unrecovered={len(chaos.get('unrecovered', []))}, "
+            f"hung_clients={chaos.get('hung_clients')})"
+        )
     return failures
 
 

@@ -20,7 +20,7 @@ def _long_description() -> str:
 
 setup(
     name="repro-reqisc",
-    version="1.4.0",
+    version="1.5.0",
     description=(
         "Reproduction of the ReQISC reconfigurable SU(4) quantum ISA: the "
         "genAshN microarchitecture, the Regulus compiler with a first-class "

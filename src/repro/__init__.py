@@ -20,7 +20,7 @@ shims over it.
 
 from repro._lazy import lazy_exports
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 #: Mapping from public attribute name to "module:attribute" location.
 _LAZY_EXPORTS = {

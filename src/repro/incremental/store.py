@@ -168,6 +168,19 @@ class PassMemoStore:
         """Compact the backing cache's segment store (offline maintenance)."""
         return self.backing.compact()
 
+    def scrub(self) -> Dict[str, Any]:
+        """Scrub the backing cache's segment store (offline maintenance).
+
+        Memoized pass results share the synthesis cache's segment format, so
+        the same CRC-verify / quarantine / salvage pass
+        (:meth:`~repro.service.cache.SynthesisCache.scrub`) repairs them too.
+        """
+        return self.backing.scrub()
+
+    def disk_stats(self) -> Dict[str, Any]:
+        """Disk inventory and health counters of the backing cache."""
+        return self.backing.disk_stats()
+
     def close(self) -> None:
         """Close the backing cache iff this store owns it."""
         if self._owns_backing:

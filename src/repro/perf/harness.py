@@ -73,6 +73,19 @@ Report schema (``schema = "repro-perf/5"``)::
                   "dedup_result_cache": int},
         "bit_identical": bool,                    # daemon == sequential compile
         "mismatches": [str, ...]},
+      "chaos": {                          # seeded fault-injection soak
+        "scale": str, "compiler": str, "jobs": int, "completed": int,
+        "clients": int, "workers": int,
+        "faults_scheduled": int, "faults_fired": {"layer.mode": int, ...},
+        "faults_fired_total": int,
+        "resilience": {"attempts": int, "retries": int, "reconnects": int,
+                       "giveups": int, "retry_after_honored": int,
+                       "hedges": int, "hedge_wins": int},
+        "scrub": {...},                           # SynthesisCache.scrub() report
+        "unrecovered": [...], "hung_clients": int,
+        "ok": bool,                               # the single soak verdict
+        "bit_identical": bool,                    # chaos daemon == fault-free
+        "mismatches": [...]},
       "cache": {"synthesis": {...} | None,        # CacheStats.as_dict()
                 "gate_matrix": {...}}             # matrix_cache_stats()
     }
@@ -101,6 +114,7 @@ __all__ = [
     "bench_ir",
     "bench_qasm",
     "bench_serve",
+    "bench_chaos",
     "bench_synthesize",
     "bench_simulate",
     "routing_equivalence",
@@ -108,7 +122,7 @@ __all__ = [
     "write_report",
 ]
 
-SCHEMA_VERSION = "repro-perf/5"
+SCHEMA_VERSION = "repro-perf/6"
 
 #: Workload categories exercised by the compile benchmark (a representative
 #: slice; the full suite is covered by the equivalence sweep).
@@ -670,6 +684,81 @@ def bench_serve(
     return [record], section
 
 
+def bench_chaos(
+    scale: str = "tiny",
+    compiler: str = "reqisc-eff",
+    seed: int = 42,
+    faults: int = 50,
+    clients: int = 4,
+    workers: int = 2,
+    requests_per_circuit: int = 3,
+    job_timeout: float = 60.0,
+) -> Tuple[List[PerfRecord], Dict[str, Any]]:
+    """Soak a live daemon under a seeded :class:`~repro.resilience.FaultPlan`.
+
+    A thin perf-harness wrapper over :func:`repro.resilience.run_chaos`:
+    ``faults`` faults are spread round-robin across all four injection
+    layers (worker crashes/hangs, clock-skewed deadlines, socket
+    resets/torn frames/delays, cache bit-flips/truncations), resilient
+    clients drive every suite program through the daemon, and a cold
+    cache-reopen plus :meth:`~repro.service.cache.SynthesisCache.scrub`
+    closes the loop.  The section's ``ok`` is the verdict CI hard-fails
+    on: every completed job bit-identical to its fault-free compile, no
+    unrecovered job, no hung client.
+    """
+    from repro.resilience import FaultPlan, run_chaos
+
+    plan = FaultPlan.balanced(seed=seed, faults=faults)
+    report = run_chaos(
+        plan,
+        scale=scale,
+        compiler=compiler,
+        seed=0,
+        clients=clients,
+        workers=workers,
+        requests_per_circuit=requests_per_circuit,
+        job_timeout=job_timeout,
+    )
+    record = PerfRecord(
+        name=f"chaos.{compiler}.{scale}",
+        kind="chaos",
+        repeats=1,
+        wall_seconds=report["wall_seconds"],
+        mean_seconds=report["wall_seconds"],
+        gates=report["jobs"],
+        extra={
+            "compiler": compiler,
+            "scale": scale,
+            "jobs": report["jobs"],
+            "completed": report["completed"],
+            "faults_scheduled": report["faults_scheduled"],
+            "faults_fired_total": report["faults_fired_total"],
+            "retries": report["resilience"]["retries"],
+            "ok": report["ok"],
+        },
+    )
+    section = {
+        "scale": scale,
+        "compiler": compiler,
+        "jobs": report["jobs"],
+        "completed": report["completed"],
+        "clients": clients,
+        "workers": workers,
+        "plan_summary": report["plan_summary"],
+        "faults_scheduled": report["faults_scheduled"],
+        "faults_fired": report["faults_fired"],
+        "faults_fired_total": report["faults_fired_total"],
+        "resilience": report["resilience"],
+        "scrub": report["scrub"],
+        "unrecovered": report["unrecovered"],
+        "hung_clients": report["hung_clients"],
+        "ok": report["ok"],
+        "bit_identical": report["bit_identical"],
+        "mismatches": report["mismatches"],
+    }
+    return [record], section
+
+
 def _edited_variant(base: QuantumCircuit, num_edits: int, edit_seed: int) -> QuantumCircuit:
     """Replace ``num_edits`` gates of ``base`` at deterministic positions.
 
@@ -883,12 +972,14 @@ def run_perf(
     ``quick`` trims repeats and workload scale for CI smoke runs; the
     acceptance-scale routing benchmark (>=64 qubits, >=2000 gates, anchored
     baseline) runs in both modes.  ``kinds`` restricts to a subset of
-    ``{"compile", "route", "incr", "ir", "qasm", "serve", "synthesize",
-    "simulate"}``.
+    ``{"compile", "route", "incr", "ir", "qasm", "serve", "chaos",
+    "synthesize", "simulate"}``.
     """
     from repro.gates.gate import matrix_cache_stats, reset_matrix_cache_stats
 
-    all_kinds = {"compile", "route", "incr", "ir", "qasm", "serve", "synthesize", "simulate"}
+    all_kinds = {
+        "compile", "route", "incr", "ir", "qasm", "serve", "chaos", "synthesize", "simulate",
+    }
     selected = set(kinds) if kinds else set(all_kinds)
     unknown = selected - all_kinds
     if unknown:
@@ -903,6 +994,7 @@ def run_perf(
     ir_section: Optional[Dict[str, Any]] = None
     qasm_section: Optional[Dict[str, Any]] = None
     serve_section: Optional[Dict[str, Any]] = None
+    chaos_section: Optional[Dict[str, Any]] = None
     incr_section: Optional[Dict[str, Any]] = None
 
     if "route" in selected:
@@ -953,6 +1045,17 @@ def run_perf(
             offered_rate=40.0 if quick else 60.0,
         )
         records.extend(serve_records)
+    if "chaos" in selected:
+        # Quick mode keeps the soak to a handful of faults over one pass of
+        # the tiny suite; full mode schedules the acceptance-scale 50-fault
+        # plan.  Both modes gate on the same ok/bit-identity verdict.
+        chaos_records, chaos_section = bench_chaos(
+            scale="tiny",
+            seed=seed,
+            faults=10 if quick else 50,
+            requests_per_circuit=1 if quick else 3,
+        )
+        records.extend(chaos_records)
     if "synthesize" in selected:
         records.extend(bench_synthesize(count=16 if quick else 64, repeats=repeats))
     if "simulate" in selected:
@@ -975,6 +1078,7 @@ def run_perf(
         "incr": incr_section,
         "qasm": qasm_section,
         "serve": serve_section,
+        "chaos": chaos_section,
         "cache": {
             "synthesis": synthesis_cache,
             "gate_matrix": matrix_cache_stats(),

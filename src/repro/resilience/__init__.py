@@ -1,0 +1,28 @@
+"""End-to-end resilience layer for the serve stack.
+
+Three pieces, designed to be used together (``docs/resilience.md``):
+
+- :class:`FaultPlan` / :class:`FaultInjector` — seeded, deterministic,
+  multi-layer fault schedules injected into the worker pool, the server's
+  socket path, and the synthesis cache's disk writes;
+- :class:`RetryPolicy` / :class:`RetryStats` — the client-side recovery
+  half: bounded exponential backoff with jitter, idempotent retries,
+  server ``retry_after`` hints, and hedged requests;
+- :func:`run_chaos` — the soak harness that arms a plan against a live
+  daemon and verdicts on bit-identity, unrecovered jobs, client hangs,
+  and post-hoc cache scrubbing.
+"""
+
+from repro.resilience.chaos import run_chaos
+from repro.resilience.faultplan import FAULT_LAYERS, FaultInjector, FaultPlan
+from repro.resilience.retry import DEFAULT_RETRY_CODES, RetryPolicy, RetryStats
+
+__all__ = [
+    "DEFAULT_RETRY_CODES",
+    "FAULT_LAYERS",
+    "FaultInjector",
+    "FaultPlan",
+    "RetryPolicy",
+    "RetryStats",
+    "run_chaos",
+]

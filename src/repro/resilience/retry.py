@@ -1,0 +1,165 @@
+"""Client-side retry, backoff and hedging policy for the serve protocol.
+
+Compile submissions are *idempotent*: the daemon keys every job by a
+content hash of the exact circuit plus everything that can change the
+compiled bytes, and coalesces repeats through its result cache and
+in-flight dedup.  Resubmitting a request whose response was lost therefore
+can never compile twice or return different bytes — which makes aggressive
+client-side retries safe, and is why :class:`RetryPolicy` retries both
+transport failures (reset connections, torn frames, read timeouts) and the
+daemon's explicitly *retriable* structured errors (``overloaded``,
+``timeout``, ``worker-crash``).
+
+Backoff is bounded exponential with deterministic jitter: attempt ``k``
+sleeps ``base_delay * multiplier**k``, capped at ``max_delay``, scaled by a
+seeded jitter factor in ``[1 - jitter, 1]`` so a thundering herd of
+identical clients decorrelates without making test runs flaky.  When the
+daemon's ``overloaded`` response carries a ``retry_after`` hint (the
+load-shedding watchdog publishes one sized to the current queue), the hint
+*raises* the computed delay — the server knows its own backlog better than
+the client's exponential guess.
+
+``hedge_after`` opts into hedged requests for tail latency: if the primary
+attempt has not answered within that many seconds, a second identical
+request is raced on a fresh connection and the first response wins.
+Hedging is idempotency-safe for the same reason retries are — the daemon's
+in-flight dedup attaches the duplicate to the already-running compile
+instead of starting a second one.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["DEFAULT_RETRY_CODES", "RetryPolicy", "RetryStats"]
+
+#: Structured error codes that are safe and sensible to retry.  All four
+#: describe *transient server-side* conditions; ``internal`` is included
+#: because an unexpected server error on an idempotent submission costs one
+#: bounded retry and recovers the transient cases (it repeats at most
+#: ``max_attempts - 1`` times when the failure is deterministic).
+DEFAULT_RETRY_CODES: Tuple[str, ...] = ("overloaded", "timeout", "worker-crash", "internal")
+
+
+@dataclass
+class RetryStats:
+    """What the resilient client actually did (the ``repro submit`` counters)."""
+
+    attempts: int = 0
+    retries: int = 0
+    reconnects: int = 0
+    giveups: int = 0
+    retry_after_honored: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def as_dict(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "attempts": self.attempts,
+                "retries": self.retries,
+                "reconnects": self.reconnects,
+                "giveups": self.giveups,
+                "retry_after_honored": self.retry_after_honored,
+                "hedges": self.hedges,
+                "hedge_wins": self.hedge_wins,
+            }
+
+    def merge(self, other: "RetryStats") -> None:
+        payload = other.as_dict()
+        with self._lock:
+            for name, value in payload.items():
+                setattr(self, name, getattr(self, name) + value)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-exponential retry with jitter, retry-after hints and hedging.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first (``1`` disables retries).
+    base_delay / multiplier / max_delay:
+        Exponential backoff shape: attempt ``k`` (0-based retry index)
+        waits ``min(base_delay * multiplier**k, max_delay)`` seconds.
+    jitter:
+        Fraction of the delay randomized away: the actual sleep is scaled
+        by a factor drawn uniformly from ``[1 - jitter, 1]`` with a seeded
+        RNG (``seed``), so backoff is decorrelated yet reproducible.
+    retry_codes:
+        Structured daemon error codes worth retrying; everything else
+        (``bad-request``, ``too-large``, ``compile-error``...) is the
+        caller's bug and fails immediately.
+    hedge_after:
+        Seconds after which a still-unanswered compile is hedged with a
+        duplicate request on a fresh connection (``None`` disables).
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    retry_codes: Tuple[str, ...] = DEFAULT_RETRY_CODES
+    hedge_after: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.hedge_after is not None and self.hedge_after <= 0:
+            raise ValueError("hedge_after must be positive (or None)")
+
+    def retriable(self, code: str) -> bool:
+        """Is the structured error ``code`` worth another attempt?"""
+        return code in self.retry_codes
+
+    def backoff(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Sleep before retry number ``attempt`` (0-based), jittered, bounded."""
+        delay = min(self.base_delay * (self.multiplier ** attempt), self.max_delay)
+        if self.jitter > 0.0:
+            rng = rng if rng is not None else random.Random(f"{self.seed}:{attempt}")
+            delay *= 1.0 - self.jitter * rng.random()
+        return delay
+
+    def delay(
+        self,
+        attempt: int,
+        retry_after: Optional[float] = None,
+        rng: Optional[random.Random] = None,
+    ) -> Tuple[float, bool]:
+        """The actual sleep for retry ``attempt``; honors the server's hint.
+
+        Returns ``(seconds, honored)`` where ``honored`` is True when the
+        server's ``retry_after`` hint raised the delay above the local
+        backoff (the hint never *shortens* the backoff — an overloaded
+        server asking for 0.0s must not turn retries into a busy loop).
+        """
+        base = self.backoff(attempt, rng=rng)
+        if retry_after is None:
+            return base, False
+        try:
+            hint = float(retry_after)
+        except (TypeError, ValueError):
+            return base, False
+        # Trust the hint, but never wait absurdly long on a bad clock.
+        hint = min(max(hint, 0.0), max(self.max_delay, 30.0))
+        if hint > base:
+            return hint, True
+        return base, False

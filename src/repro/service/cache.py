@@ -56,18 +56,28 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import pickle
 import struct
 import threading
+import time
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["CacheStats", "SynthesisCache", "circuit_fingerprint", "unitary_fingerprint"]
+__all__ = [
+    "CacheStats",
+    "SynthesisCache",
+    "circuit_fingerprint",
+    "scrub_age_seconds",
+    "unitary_fingerprint",
+]
+
+logger = logging.getLogger(__name__)
 
 #: Segment record header: magic, key length, payload length, CRC32 of
 #: ``key_bytes + payload``.  A record is header + key bytes + payload bytes.
@@ -79,6 +89,35 @@ _INDEX_PUBLISH_INTERVAL = 64
 _INDEX_NAME = "index.json"
 _SEGMENT_DIR = "segments"
 _SEGMENT_SUFFIX = ".seg"
+_QUARANTINE_DIR = "quarantine"
+_SCRUB_STAMP = "scrub.stamp"
+
+#: Test/chaos hook: when set, called with a stage name ("pre-replace",
+#: "post-replace", "pre-unlink") at the crash-sensitive points of
+#: :meth:`SynthesisCache.compact`.  Raising (or ``os._exit``-ing) from the
+#: hook models a crash at exactly that point; the store must recover
+#: losslessly on the next open.  Never set in production.
+_compact_test_hook: Optional[Callable[[str], None]] = None
+
+
+def _compact_stage(stage: str) -> None:
+    if _compact_test_hook is not None:
+        _compact_test_hook(stage)
+
+
+def scrub_age_seconds(directory: str) -> Optional[float]:
+    """Seconds since ``directory`` was last scrubbed, or None if never.
+
+    Reads the ``scrub.stamp`` written by :meth:`SynthesisCache.scrub`
+    without opening the cache — cheap enough for the daemon's ``health``
+    op to call on every probe.
+    """
+    try:
+        with open(os.path.join(directory, _SCRUB_STAMP), "r", encoding="utf-8") as handle:
+            stamp = json.load(handle)
+        return max(0.0, time.time() - float(stamp["time"]))
+    except (OSError, ValueError, TypeError, KeyError):
+        return None
 
 class _NoneSentinel:
     """Stored in place of ``None`` (negative caching, e.g. "approximate
@@ -234,6 +273,17 @@ class SynthesisCache:
         self._own_segment_fd: Optional[int] = None
         self._puts_since_publish = 0
         self._index_loaded = False
+        # Disk-health counters (see disk_stats): how often the tail scan hit
+        # a truncated record (killed writer / in-progress append) or stopped
+        # at a corrupt one (bad magic or CRC), deduplicated per byte offset
+        # so repeated refreshes over the same damage count once.
+        self._partial_tail_events = 0
+        self._corrupt_record_events = 0
+        self._scan_anomalies: Dict[Tuple[str, int], str] = {}
+        # Chaos hook: a FaultInjector for the "cache" layer (repro.resilience).
+        # When set, scheduled bit-flips / truncations are applied to records
+        # immediately after they are appended — the scrubber must catch them.
+        self.fault_injector: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Container protocol.
@@ -346,13 +396,16 @@ class SynthesisCache:
                     offset += len(record)
                 handle.flush()
                 os.fsync(handle.fileno())
+            _compact_stage("pre-replace")
             os.replace(tmp_path, final_path)
+            _compact_stage("post-replace")
 
             # Swap in the new view, publish, then delete the superseded files.
             self._close_own_segment()
             self._seg_index = index
             self._seg_offsets = {name: offset}
             self._publish_index()
+            _compact_stage("pre-unlink")
             removed = 0
             for old in old_segments:
                 if old == name:
@@ -369,17 +422,300 @@ class SynthesisCache:
                 "legacy_removed": legacy_removed,
             }
 
-    def disk_stats(self) -> Dict[str, int]:
-        """Disk-tier inventory: live entries, segment files and total bytes.
+    def scrub(self) -> Dict[str, Any]:
+        """CRC-verify every disk record; quarantine and salvage corruption.
+
+        The tail scan (:meth:`_scan_records`) is an *optimistic* reader: it
+        stops at the first invalid record, so corruption in the middle of a
+        segment silently hides every record after it.  ``scrub`` is the
+        repair pass: it re-reads every segment from byte zero, classifies
+        every stop, and
+
+        * keeps healthy segments (a truncated record at EOF is the normal
+          signature of a killed writer and is tolerated in place),
+        * moves any segment with *mid-file* damage (bad magic, CRC mismatch,
+          a torn record followed by more data) to ``segments/quarantine/``
+          for forensics — after salvaging every record in it that still
+          CRC-verifies into a fresh ``scrub-*.seg`` segment, so no valid
+          record is ever lost,
+        * deletes stale ``*.tmp`` files left by crashed compactions,
+        * rebuilds and atomically republishes the index from what was
+          actually verified, and
+        * records a ``scrub.stamp`` (surfaced as ``last_scrub_age_seconds``
+          in :meth:`disk_stats` and the daemon's ``health`` op).
+
+        Like :meth:`compact`, scrub is an offline maintenance step: run it
+        without concurrent writers (concurrent readers degrade to misses).
+        """
+        empty = {
+            "segments_scanned": 0,
+            "records_valid": 0,
+            "records_salvaged": 0,
+            "segments_quarantined": 0,
+            "torn_tails": 0,
+            "corrupt_sites": 0,
+            "tmp_files_removed": 0,
+            "unreadable_segments": 0,
+            "entries": 0,
+        }
+        with self._lock:
+            if self.directory is None:
+                return dict(empty)
+            segment_dir = os.path.join(self.directory, _SEGMENT_DIR)
+            report = dict(empty)
+            self._close_own_segment()
+            try:
+                listing = list(os.scandir(segment_dir))
+            except OSError:
+                listing = []
+            for entry in listing:
+                if entry.is_file() and entry.name.endswith(".tmp"):
+                    try:
+                        os.unlink(entry.path)
+                        report["tmp_files_removed"] += 1
+                    except OSError:
+                        pass
+            names = self._segment_names_oldest_first(segment_dir)
+
+            # The live index is the authority on *which* copy of a key is
+            # current: duplicate keys across segments (a crashed compact, an
+            # overwrite in a newer segment) carry no version markers, and
+            # segment names do not sort by age.  The full scan below rebuilds
+            # reachability; ``prior`` then re-anchors every key whose indexed
+            # record still verifies (or was salvaged) to that exact copy.
+            # The one thing newer than the index is a record appended *past*
+            # a segment's known high-water mark (an overwrite the index never
+            # saw before the writer died): those outrank ``prior``.
+            if not self._index_loaded:
+                self._load_published_index()
+            prior = dict(self._seg_index)
+            known_hw = dict(self._seg_offsets)
+            new_index: Dict[str, Tuple[str, int, int]] = {}
+            new_offsets: Dict[str, int] = {}
+            newer: Dict[str, Tuple[str, int, int]] = {}
+            valid_locations: set = set()
+            salvage: Dict[str, Tuple[bytes, Tuple[str, int, int]]] = {}
+            damaged: List[Tuple[str, List[Tuple[str, int, int, int]]]] = []
+            for name in names:
+                path = os.path.join(segment_dir, name)
+                try:
+                    with open(path, "rb") as handle:
+                        data = handle.read()
+                except OSError:
+                    report["unreadable_segments"] += 1
+                    continue
+                records, torn, corrupt = self._scrub_scan(data)
+                report["segments_scanned"] += 1
+                report["records_valid"] += len(records)
+                report["torn_tails"] += torn
+                report["corrupt_sites"] += corrupt
+                hw = known_hw.get(name)
+                if corrupt == 0:
+                    for key, payload_offset, payload_len, end in records:
+                        location = (name, payload_offset, payload_len)
+                        new_index[key] = location
+                        valid_locations.add(location)
+                        if hw is not None and end > hw:
+                            newer[key] = location
+                    # With a torn tail, park the high-water mark at the last
+                    # valid record so a still-in-flight append is retried.
+                    if torn == 0:
+                        new_offsets[name] = len(data)
+                    else:
+                        new_offsets[name] = records[-1][3] if records else 0
+                else:
+                    damaged.append((name, records))
+                    for key, payload_offset, payload_len, end in records:
+                        location = (name, payload_offset, payload_len)
+                        salvage[key] = (
+                            data[payload_offset : payload_offset + payload_len],
+                            location,
+                        )
+                        if hw is not None and end > hw:
+                            newer[key] = location
+
+            quarantine_names = [name for name, _ in damaged]
+            relocations: Dict[Tuple[str, int, int], Tuple[str, int, int]] = {}
+            if salvage:
+                os.makedirs(segment_dir, exist_ok=True)
+                scrub_name = f"scrub-{os.getpid()}-{os.urandom(4).hex()}{_SEGMENT_SUFFIX}"
+                final_path = os.path.join(segment_dir, scrub_name)
+                tmp_path = f"{final_path}.tmp"
+                offset = 0
+                salvage_index: Dict[str, Tuple[str, int, int]] = {}
+                try:
+                    with open(tmp_path, "wb") as handle:
+                        for key in sorted(salvage):
+                            payload, old_location = salvage[key]
+                            record = self._build_record(key, payload)
+                            payload_offset = offset + _RECORD_HEADER.size + len(key.encode("utf-8"))
+                            salvage_index[key] = (scrub_name, payload_offset, len(payload))
+                            relocations[old_location] = salvage_index[key]
+                            handle.write(record)
+                            offset += len(record)
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    os.replace(tmp_path, final_path)
+                    new_offsets[scrub_name] = offset
+                    report["records_salvaged"] = len(salvage)
+                    for key, location in salvage_index.items():
+                        new_index.setdefault(key, location)
+                except OSError:
+                    # Could not write the salvage segment: leave the damaged
+                    # segments in place (their valid records are individually
+                    # readable and CRC-checked) rather than quarantining
+                    # records we failed to copy out.
+                    logger.warning("scrub: failed to write salvage segment; leaving store as-is")
+                    try:
+                        os.unlink(tmp_path)
+                    except OSError:
+                        pass
+                    quarantine_names = []
+                    relocations = {}
+                    for name, records in damaged:
+                        for key, payload_offset, payload_len, _ in records:
+                            new_index.setdefault(key, (name, payload_offset, payload_len))
+                            valid_locations.add((name, payload_offset, payload_len))
+                        new_offsets[name] = records[-1][3] if records else 0
+
+            if quarantine_names:
+                quarantine_dir = os.path.join(segment_dir, _QUARANTINE_DIR)
+                try:
+                    os.makedirs(quarantine_dir, exist_ok=True)
+                except OSError:
+                    quarantine_dir = None
+                for name in quarantine_names:
+                    if quarantine_dir is None:
+                        break
+                    try:
+                        os.replace(
+                            os.path.join(segment_dir, name), os.path.join(quarantine_dir, name)
+                        )
+                        report["segments_quarantined"] += 1
+                        logger.warning("scrub: quarantined corrupt cache segment %s", name)
+                    except OSError:
+                        continue
+                    self._scan_anomalies = {
+                        site: kind for site, kind in self._scan_anomalies.items() if site[0] != name
+                    }
+
+            # Re-anchor keys the live index already resolved: where the scan
+            # saw the same key in several segments, the indexed copy (possibly
+            # relocated into the salvage segment) wins over name order — and a
+            # record appended past a segment's high-water mark wins over both.
+            for overlay in (prior, newer):
+                for key, location in overlay.items():
+                    if location in valid_locations:
+                        new_index[key] = location
+                    elif location in relocations:
+                        new_index[key] = relocations[location]
+
+            self._seg_index = new_index
+            self._seg_offsets = new_offsets
+            report["entries"] = len(new_index)
+            self._publish_index()
+            self._write_scrub_stamp(report)
+            # The full rescan supersedes the incremental damage tallies: what
+            # scrub found is in the report/stamp, and anything it healed (or
+            # quarantined) is no longer a live anomaly.
+            self._partial_tail_events = 0
+            self._corrupt_record_events = 0
+            self._scan_anomalies = {}
+            return report
+
+    def _scrub_scan(self, data: bytes) -> Tuple[List[Tuple[str, int, int, int]], int, int]:
+        """Full-depth scan of one segment's bytes with forward resync.
+
+        Returns ``(records, torn_tails, corrupt_sites)`` where each record is
+        ``(key, payload_offset, payload_len, end_offset)``.  Unlike
+        :meth:`_scan_records`, an invalid record does not end the scan: the
+        scanner searches forward for the next record magic and keeps going,
+        which is what salvages records stranded behind a damaged one.  A
+        truncated record at EOF with nothing after it counts as a torn tail
+        (normal); every other anomaly counts as a corrupt site.
+        """
+        records: List[Tuple[str, int, int, int]] = []
+        torn = 0
+        corrupt = 0
+        pos = 0
+        while pos < len(data):
+            status, parsed = self._parse_record_at(data, pos)
+            if status == "ok":
+                records.append(parsed)
+                pos = parsed[3]
+                continue
+            resync = data.find(_RECORD_MAGIC, pos + 1)
+            if status == "incomplete" and resync == -1:
+                torn += 1  # clean torn tail at EOF — a killed writer, not corruption
+                break
+            corrupt += 1
+            if resync == -1:
+                break
+            pos = resync
+        return records, torn, corrupt
+
+    @staticmethod
+    def _parse_record_at(
+        data: bytes, pos: int
+    ) -> Tuple[str, Optional[Tuple[str, int, int, int]]]:
+        """Try to parse one record at ``pos``: ("ok", record) / ("incomplete"
+        | "corrupt", None)."""
+        header_size = _RECORD_HEADER.size
+        if pos + header_size > len(data):
+            return "incomplete", None
+        magic, key_len, payload_len, crc = _RECORD_HEADER.unpack_from(data, pos)
+        if magic != _RECORD_MAGIC:
+            return "corrupt", None
+        end = pos + header_size + key_len + payload_len
+        if end > len(data):
+            return "incomplete", None
+        body = data[pos + header_size : end]
+        if zlib.crc32(body) & 0xFFFFFFFF != crc:
+            return "corrupt", None
+        key = body[:key_len].decode("utf-8", errors="replace")
+        return "ok", (key, pos + header_size + key_len, payload_len, end)
+
+    def _write_scrub_stamp(self, report: Dict[str, Any]) -> None:
+        if self.directory is None:
+            return
+        path = os.path.join(self.directory, _SCRUB_STAMP)
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump({"time": time.time(), "report": report}, handle)
+            os.replace(tmp_path, path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+
+    def disk_stats(self) -> Dict[str, Any]:
+        """Disk-tier inventory plus health: entries, segments, bytes, damage.
 
         Refreshes the segment view first, so the numbers include records
         appended by other processes since this cache was opened.  Legacy
         one-pickle-per-entry files are not counted (``compact`` folds them
-        into the segment store).
+        into the segment store).  Beyond the inventory, the health fields
+        report what the tail scan has seen: ``partial_tails`` (truncated
+        records at a segment tail — a killed writer or an append raced
+        mid-write), ``corrupt_records`` (bad magic or CRC mismatch — real
+        damage only :meth:`scrub` repairs), ``quarantined_segments`` (files
+        scrub moved aside), and ``last_scrub_age_seconds`` (``None`` if the
+        store was never scrubbed).
         """
+        empty: Dict[str, Any] = {
+            "entries": 0,
+            "segments": 0,
+            "bytes": 0,
+            "partial_tails": 0,
+            "corrupt_records": 0,
+            "quarantined_segments": 0,
+            "last_scrub_age_seconds": None,
+        }
         with self._lock:
             if self.directory is None:
-                return {"entries": 0, "segments": 0, "bytes": 0}
+                return empty
             self._refresh_segments()
             segment_dir = os.path.join(self.directory, _SEGMENT_DIR)
             segments = 0
@@ -391,10 +727,24 @@ class SynthesisCache:
                         total_bytes += entry.stat().st_size
             except OSError:
                 pass
+            quarantined = 0
+            try:
+                quarantined = sum(
+                    1
+                    for entry in os.scandir(os.path.join(segment_dir, _QUARANTINE_DIR))
+                    if entry.is_file()
+                )
+            except OSError:
+                pass
+            scrub_age = scrub_age_seconds(self.directory)
             return {
                 "entries": len(self._seg_index),
                 "segments": segments,
                 "bytes": total_bytes,
+                "partial_tails": self._partial_tail_events,
+                "corrupt_records": self._corrupt_record_events,
+                "quarantined_segments": quarantined,
+                "last_scrub_age_seconds": scrub_age,
             }
 
     def close(self) -> None:
@@ -492,6 +842,31 @@ class SynthesisCache:
             # A missing or unreadable index just means a full tail scan.
             pass
 
+    @staticmethod
+    def _segment_names_oldest_first(segment_dir: str) -> List[str]:
+        """Segment names sorted oldest-mtime-first (ties broken by name).
+
+        Duplicate keys across segments carry no version markers, so scan
+        order decides which copy wins when the index is silent (e.g. whole
+        segments orphaned by a crashed compact).  The random tokens in
+        segment names are meaningless for age; mtime order approximates
+        write order, so the newest copy of a key is scanned last and wins.
+        """
+        decorated = []
+        try:
+            listing = list(os.scandir(segment_dir))
+        except OSError:
+            return []
+        for entry in listing:
+            if not (entry.is_file() and entry.name.endswith(_SEGMENT_SUFFIX)):
+                continue
+            try:
+                mtime = entry.stat().st_mtime_ns
+            except OSError:
+                mtime = 0
+            decorated.append((mtime, entry.name))
+        return [name for _, name in sorted(decorated)]
+
     def _refresh_segments(self) -> None:
         """Tail-scan every segment past its high-water mark for new records."""
         segment_dir = self._segment_dir()
@@ -499,14 +874,7 @@ class SynthesisCache:
             return
         if not self._index_loaded:
             self._load_published_index()
-        try:
-            names = [
-                entry.name
-                for entry in os.scandir(segment_dir)
-                if entry.is_file() and entry.name.endswith(_SEGMENT_SUFFIX)
-            ]
-        except OSError:
-            return
+        names = self._segment_names_oldest_first(segment_dir)
         for name in names:
             start = self._seg_offsets.get(name, 0)
             path = os.path.join(segment_dir, name)
@@ -525,32 +893,79 @@ class SynthesisCache:
             consumed = self._scan_records(name, start, data)
             self._seg_offsets[name] = start + consumed
 
+    def _note_scan_anomaly(self, segment_name: str, offset: int, kind: str) -> None:
+        """Count a tail-scan stop once per (segment, byte offset).
+
+        The scan offset never advances past an anomaly, so every refresh
+        re-encounters the same damage; deduplicating by position keeps the
+        counters meaningful ("distinct damaged sites", not "refreshes").
+        """
+        site = (segment_name, offset)
+        if self._scan_anomalies.get(site) == kind:
+            return
+        self._scan_anomalies[site] = kind
+        if kind == "partial-tail":
+            self._partial_tail_events += 1
+            logger.debug(
+                "cache segment %s: partial record at offset %d "
+                "(in-progress append or torn tail from a killed writer)",
+                segment_name,
+                offset,
+            )
+        else:
+            self._corrupt_record_events += 1
+            logger.warning(
+                "cache segment %s: %s at offset %d — records beyond it are "
+                "unreachable until scrub() salvages the segment",
+                segment_name,
+                kind,
+                offset,
+            )
+
     def _scan_records(self, segment_name: str, base_offset: int, data: bytes) -> int:
         """Index every complete, CRC-valid record in ``data``.
 
         Returns how many bytes were consumed.  Scanning stops at the first
         incomplete or invalid record: an in-progress append is retried on the
         next refresh (the offset does not advance past it), and a truncated
-        tail left by a killed writer is permanently ignored.
+        tail left by a killed writer is ignored.  Every stop is classified
+        and counted (``disk_stats()``): a *partial tail* — header or body
+        running past EOF — is the normal signature of an in-flight or torn
+        append, while a *bad magic* or *CRC mismatch* inside the data means
+        real corruption that only :meth:`scrub` can repair.
         """
         consumed = 0
         header_size = _RECORD_HEADER.size
-        while consumed + header_size <= len(data):
+        while True:
+            if consumed + header_size > len(data):
+                if consumed < len(data):
+                    self._note_scan_anomaly(segment_name, base_offset + consumed, "partial-tail")
+                break
             try:
                 magic, key_len, payload_len, crc = _RECORD_HEADER.unpack_from(data, consumed)
             except struct.error:
+                self._note_scan_anomaly(segment_name, base_offset + consumed, "partial-tail")
                 break
             if magic != _RECORD_MAGIC:
+                self._note_scan_anomaly(segment_name, base_offset + consumed, "bad magic")
                 break
             end = consumed + header_size + key_len + payload_len
             if end > len(data):
-                break  # partial tail: retry (or ignore) on the next refresh
+                self._note_scan_anomaly(segment_name, base_offset + consumed, "partial-tail")
+                break
             body = data[consumed + header_size : end]
             if zlib.crc32(body) & 0xFFFFFFFF != crc:
+                self._note_scan_anomaly(segment_name, base_offset + consumed, "CRC mismatch")
                 break
             key = body[:key_len].decode("utf-8", errors="replace")
             payload_offset = base_offset + consumed + header_size + key_len
             self._seg_index[key] = (segment_name, payload_offset, payload_len)
+            # A site previously flagged as a partial tail that now parses was
+            # just an in-flight append we raced — take the count back.
+            site = (segment_name, base_offset + consumed)
+            if self._scan_anomalies.get(site) == "partial-tail":
+                del self._scan_anomalies[site]
+                self._partial_tail_events -= 1
             consumed = end
         return consumed
 
@@ -732,12 +1147,17 @@ class SynthesisCache:
             name = self._own_segment_name
             offset = self._seg_offsets.get(name, 0)
             os.write(fd, record)  # one complete record per write
-            self._seg_offsets[name] = offset + len(record)
-            self._seg_index[key] = (
-                name,
-                offset + _RECORD_HEADER.size + len(key.encode("utf-8")),
-                len(payload),
-            )
+            on_disk = self._inject_write_fault(fd, offset, record)
+            self._seg_offsets[name] = offset + on_disk
+            if on_disk == len(record):
+                self._seg_index[key] = (
+                    name,
+                    offset + _RECORD_HEADER.size + len(key.encode("utf-8")),
+                    len(payload),
+                )
+            else:
+                # The injected torn append left no complete record on disk.
+                self._seg_index.pop(key, None)
             self._puts_since_publish += 1
             if self._puts_since_publish >= _INDEX_PUBLISH_INTERVAL:
                 self._puts_since_publish = 0
@@ -746,6 +1166,43 @@ class SynthesisCache:
             # The disk tier is best-effort: an unwritable store degrades the
             # cache to memory-only instead of failing the compilation.
             pass
+
+    def _inject_write_fault(self, fd: int, offset: int, record: bytes) -> int:
+        """Chaos hook: maybe corrupt the record just appended at ``offset``.
+
+        Draws from :attr:`fault_injector` (the ``cache`` layer of a
+        :class:`~repro.resilience.faultplan.FaultPlan`).  ``bitflip`` flips
+        one payload bit in place — the record keeps its length but will fail
+        CRC on every future read; ``truncate`` cuts the file mid-record,
+        exactly the torn tail a writer killed inside ``write(2)`` would
+        leave.  Returns the record's actual on-disk length so the caller's
+        offset bookkeeping stays truthful.
+        """
+        if self.fault_injector is None:
+            return len(record)
+        mode = self.fault_injector.draw()
+        if mode is None:
+            return len(record)
+        if mode == "bitflip" and len(record) > _RECORD_HEADER.size:
+            # Deterministic target: the middle of the key+payload body.
+            target = _RECORD_HEADER.size + (len(record) - _RECORD_HEADER.size) // 2
+            os.pwrite(fd, bytes([record[target] ^ 0x40]), offset + target)
+            logger.warning(
+                "chaos: flipped a bit in cache segment %s at offset %d",
+                self._own_segment_name,
+                offset + target,
+            )
+            return len(record)
+        if mode == "truncate" and len(record) >= 2:
+            keep = len(record) // 2
+            os.ftruncate(fd, offset + keep)
+            logger.warning(
+                "chaos: tore cache segment %s mid-record at offset %d",
+                self._own_segment_name,
+                offset + keep,
+            )
+            return keep
+        return len(record)
 
     def __repr__(self) -> str:
         tier = f", directory={self.directory!r}" if self.directory else ""

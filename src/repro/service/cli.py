@@ -42,8 +42,20 @@ registered compilers (``reqisc-full`` / ``reqisc-eff`` / baselines, see
 ``cache``
     Maintain the on-disk segment store shared by the synthesis cache and
     the incremental pass-memo store: ``repro cache stats`` reports live
-    entries / segment files / bytes, ``repro cache compact`` folds every
-    live record into one fresh segment.
+    entries / segment files / bytes plus corruption counters, ``repro
+    cache compact`` folds every live record into one fresh segment, and
+    ``repro cache scrub`` CRC-verifies every record, salvages the valid
+    ones out of damaged segments and quarantines the damage under
+    ``segments/quarantine/`` (see ``docs/resilience.md``).
+
+``chaos``
+    Soak a live daemon under a seeded, reproducible
+    :class:`~repro.resilience.FaultPlan` — worker crashes and hangs,
+    clock-skewed deadlines, socket resets / torn frames / delays, cache
+    bit-flips and truncations — then verify every completed job was
+    bit-identical to its fault-free compile and that the scrubber caught
+    every injected corruption.  Exits non-zero on any violation (see
+    ``docs/resilience.md``).
 
 ``perf``
     Run the :mod:`repro.perf` microbenchmark harness (compile / route /
@@ -88,9 +100,32 @@ import sys
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["build_parser", "main"]
+__all__ = ["EXIT_CODES", "EXIT_UNAVAILABLE", "build_parser", "main"]
 
 _DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Structured-error exit codes for the daemon-facing subcommands (``submit``,
+#: ``chaos``): 0 is success, 1 a generic CLI failure (bad arguments, soak
+#: verdict), 2 argparse misuse, and 10+ map one-to-one onto the protocol's
+#: structured error codes so scripts can branch on *why* a submission failed
+#: without parsing stderr.  When several files fail in one invocation the
+#: exit code reflects the first failure.  Kept literal (rather than derived
+#: from ``protocol.ERROR_CODES``) so the numbers are stable documentation;
+#: a test asserts the two stay in sync.
+EXIT_CODES = {
+    "bad-request": 10,
+    "too-large": 11,
+    "overloaded": 12,
+    "timeout": 13,
+    "worker-crash": 14,
+    "compile-error": 15,
+    "shutting-down": 16,
+    "internal": 17,
+}
+
+#: Exit code when the daemon cannot be reached at all (connect/read failure
+#: that survived every retry) — distinct from every structured error.
+EXIT_UNAVAILABLE = 18
 
 
 # ---------------------------------------------------------------------------
@@ -354,8 +389,58 @@ def build_parser() -> argparse.ArgumentParser:
             "(see docs/incremental.md)"
         ),
     )
+    submit_parser.add_argument(
+        "--priority",
+        type=int,
+        default=None,
+        metavar="0-9",
+        help=(
+            "scheduling priority (0 lowest .. 9 highest, default 5); under "
+            "degraded load the daemon sheds low-priority work first"
+        ),
+    )
+    submit_parser.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help=(
+            "retries after the first attempt for transient failures "
+            "(overloaded / timeout / worker-crash / lost connections), with "
+            "bounded exponential backoff honoring the daemon's retry-after "
+            "hint; 0 disables (default: 3)"
+        ),
+    )
+    submit_parser.add_argument(
+        "--hedge-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "race a duplicate request on a fresh connection if the primary "
+            "has not answered within SECONDS (idempotent-safe: the daemon "
+            "dedups in-flight work; default: disabled)"
+        ),
+    )
+    submit_parser.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="socket connect timeout (default: 10)",
+    )
+    submit_parser.add_argument(
+        "--read-timeout",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="socket read timeout per response (default: 120)",
+    )
     submit_parser.add_argument("--ping", action="store_true", help="liveness probe, then exit")
     submit_parser.add_argument("--stats", action="store_true", help="print the daemon's counter snapshot")
+    submit_parser.add_argument(
+        "--health", action="store_true", help="print the daemon's watchdog health report"
+    )
     submit_parser.add_argument(
         "--shutdown", action="store_true", help="ask the daemon to shut down (after any compiles)"
     )
@@ -370,11 +455,14 @@ def build_parser() -> argparse.ArgumentParser:
             "cache and the incremental pass-memo store: `stats` reports live "
             "entries, segment files and bytes on disk; `compact` folds every "
             "live record into one fresh segment and deletes the superseded "
-            "files (run it without concurrent writers)."
+            "files (run it without concurrent writers); `scrub` CRC-verifies "
+            "every record, salvages valid records out of damaged segments and "
+            "quarantines the damaged files under segments/quarantine/ "
+            "(see docs/resilience.md)."
         ),
     )
     cache_parser.add_argument(
-        "action", choices=("stats", "compact"), help="what to do with the cache directory"
+        "action", choices=("stats", "compact", "scrub"), help="what to do with the cache directory"
     )
     cache_parser.add_argument(
         "--cache-dir",
@@ -383,6 +471,69 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"cache directory to operate on (default: {_DEFAULT_CACHE_DIR})",
     )
     cache_parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="soak a live daemon under seeded fault injection (see docs/resilience.md)",
+        description=(
+            "Boot a real compile daemon with a seeded FaultPlan armed across "
+            "all four layers (worker crashes/hangs, clock-skewed deadlines, "
+            "socket resets/torn frames/delays, cache bit-flips/truncations), "
+            "drive it with resilient clients, then cold-reopen the cache and "
+            "scrub it.  The soak passes only if every completed job is "
+            "bit-identical to its fault-free compile, no job was "
+            "unrecoverable, no client hung, and every injected corruption "
+            "was quarantined.  Exits 1 on any violation."
+        ),
+    )
+    chaos_parser.add_argument(
+        "--faults", type=int, default=50, metavar="N",
+        help="total faults to schedule, spread round-robin across layers (default: 50)",
+    )
+    chaos_parser.add_argument("--seed", type=int, default=42, help="fault-plan seed (default: 42)")
+    chaos_parser.add_argument(
+        "--window", type=int, default=None, metavar="N",
+        help="schedule window: faults land on draws [0, N) per layer (default: 200)",
+    )
+    chaos_parser.add_argument(
+        "--spec", metavar="JSON|PATH", default=None,
+        help=(
+            "explicit plan instead of --faults: a JSON object (or a path to "
+            "one) like '{\"seed\": 7, \"counts\": {\"worker.raise\": 5}}' "
+            "accepted by FaultPlan.from_spec"
+        ),
+    )
+    chaos_parser.add_argument(
+        "--scale", choices=("tiny", "small", "medium"), default="tiny",
+        help="benchmark-suite scale to drive through the daemon (default: tiny)",
+    )
+    chaos_parser.add_argument(
+        "--compiler", default="reqisc-eff", metavar="NAME",
+        help="compiler under test (default: reqisc-eff)",
+    )
+    chaos_parser.add_argument(
+        "--clients", type=int, default=4, metavar="N", help="concurrent client threads (default: 4)"
+    )
+    chaos_parser.add_argument(
+        "--workers", type=int, default=2, metavar="N", help="daemon worker processes (default: 2)"
+    )
+    chaos_parser.add_argument(
+        "--requests-per-circuit", type=int, default=3, metavar="N",
+        help="times each suite program is submitted (default: 3)",
+    )
+    chaos_parser.add_argument(
+        "--job-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="daemon per-job deadline (default: 30)",
+    )
+    chaos_parser.add_argument(
+        "--wall-deadline", type=float, default=600.0, metavar="SECONDS",
+        help="whole-soak deadline; a client alive past it counts as hung (default: 600)",
+    )
+    chaos_parser.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="also write the full JSON report to PATH",
+    )
+    chaos_parser.add_argument("--json", action="store_true", help="print the full report as JSON")
 
     perf_parser = subparsers.add_parser(
         "perf",
@@ -401,7 +552,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--only",
         metavar="KIND",
         action="append",
-        choices=("compile", "route", "incr", "ir", "qasm", "serve", "synthesize", "simulate"),
+        choices=("compile", "route", "incr", "ir", "qasm", "serve", "chaos", "synthesize", "simulate"),
         help="restrict to one benchmark kind (repeatable; default: all)",
     )
     perf_parser.add_argument("--seed", type=int, default=42, help="workload seed (default: 42)")
@@ -492,8 +643,10 @@ def _render(report: Dict[str, Any], rows: List[Dict[str, Any]], args: argparse.N
         )
     if "elapsed_seconds" in report:
         lines.append(f"elapsed: {report['elapsed_seconds']:.2f}s")
-    for name, message in report.get("errors", []):
-        lines.append(f"ERROR {name}: {message}")
+    # suite errors are (name, message); submit errors carry a third element,
+    # the structured protocol error code.
+    for entry in report.get("errors", []):
+        lines.append(f"ERROR {entry[0]}: {entry[1]}")
     return "\n".join(lines)
 
 
@@ -869,28 +1022,57 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _submit_exit_code(errors: List[Tuple[str, str, Optional[str]]]) -> int:
+    """0 on success; the first failure's structured exit code otherwise."""
+    if not errors:
+        return 0
+    first_code = errors[0][2]
+    return EXIT_CODES.get(first_code, 1) if first_code else 1
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.resilience import RetryPolicy, RetryStats
     from repro.service.server import ServeClient, ServeError
 
-    if not (args.qasm or args.ping or args.stats or args.shutdown):
-        raise SystemExit("nothing to do: give QASM file(s), --ping, --stats or --shutdown")
+    if not (args.qasm or args.ping or args.stats or args.health or args.shutdown):
+        raise SystemExit("nothing to do: give QASM file(s), --ping, --stats, --health or --shutdown")
+    if args.retries < 0:
+        raise SystemExit("--retries must be >= 0")
 
-    client = ServeClient(args.address)
+    retry = RetryPolicy(
+        max_attempts=args.retries + 1,
+        seed=args.seed,
+        hedge_after=args.hedge_after,
+    )
+    stats = RetryStats()
+    client = ServeClient(
+        args.address,
+        timeout=args.read_timeout,
+        connect_timeout=args.connect_timeout,
+        retry=retry,
+        retry_stats=stats,
+    )
     try:
         try:
             if args.ping:
                 client.ping()
                 print(f"pong ({args.address})")
+            if args.health:
+                print(json.dumps(client.health(), indent=2, default=_json_default))
         except (ConnectionError, OSError) as exc:
-            raise SystemExit(f"cannot reach daemon at {args.address!r}: {exc}")
+            print(f"cannot reach daemon at {args.address!r}: {exc}", file=sys.stderr)
+            return EXIT_UNAVAILABLE
 
         rows: List[Dict[str, Any]] = []
         sections: List[Tuple[str, str]] = []
-        errors: List[Tuple[str, str]] = []
+        errors: List[Tuple[str, str, Optional[str]]] = []
         start = time.perf_counter()
         for path in args.qasm:
-            with open(path, "r", encoding="utf-8") as handle:
-                source = handle.read()
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+            except OSError as exc:
+                raise SystemExit(f"cannot read QASM file {path!r}: {exc}")
             name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0] or path
             try:
                 response = client.compile(
@@ -900,12 +1082,14 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                     target=args.target,
                     timeout=args.timeout,
                     session=args.session,
+                    priority=args.priority,
                 )
             except ServeError as exc:
-                errors.append((name, f"[{exc.code}] {exc.message}"))
+                errors.append((name, f"[{exc.code}] {exc.message}", exc.code))
                 continue
             except (ConnectionError, OSError) as exc:
-                raise SystemExit(f"lost connection to daemon at {args.address!r}: {exc}")
+                print(f"lost connection to daemon at {args.address!r}: {exc}", file=sys.stderr)
+                return EXIT_UNAVAILABLE
             if args.emit == "qasm":
                 sections.append((name, response["qasm"]))
             row: Dict[str, Any] = {"benchmark": name, "cached": response["cached"]}
@@ -919,20 +1103,29 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             client.shutdown_server()
             print("daemon shutting down", file=sys.stderr)
 
+        resilience = stats.as_dict()
         if args.emit == "qasm" and sections:
             _emit_qasm_sections(sections, args)
-        elif rows:
+        elif rows or errors:
             report = {
                 "command": "submit",
                 "title": f"submit [{args.compiler}] via {args.address}",
                 "rows": rows,
                 "errors": errors,
+                "resilience": resilience,
                 "elapsed_seconds": elapsed,
             }
-            _emit(_render(report, rows, args), args)
-        for name, message in errors:
+            text = _render(report, rows, args)
+            if not (getattr(args, "json", False) or getattr(args, "csv", False)):
+                text += (
+                    "\nresilience: attempts={attempts} retries={retries} "
+                    "reconnects={reconnects} retry_after_honored={retry_after_honored} "
+                    "hedges={hedges} hedge_wins={hedge_wins} giveups={giveups}".format(**resilience)
+                )
+            _emit(text, args)
+        for name, message, _ in errors:
             print(f"ERROR {name}: {message}", file=sys.stderr)
-        return 1 if errors else 0
+        return _submit_exit_code(errors)
     finally:
         client.close()
 
@@ -948,6 +1141,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     try:
         if args.action == "stats":
             payload = cache.disk_stats()
+        elif args.action == "scrub":
+            payload = cache.scrub()
         else:
             payload = cache.compact()
     finally:
@@ -958,7 +1153,19 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     elif args.action == "stats":
         print(
             "cache {cache_dir}: {entries} entries in {segments} segment file(s), "
-            "{mib:.1f} MiB on disk".format(mib=payload["bytes"] / (1024 * 1024), **payload)
+            "{mib:.1f} MiB on disk; {partial_tails} partial tail(s), "
+            "{corrupt_records} corrupt record(s), "
+            "{quarantined_segments} quarantined segment(s)".format(
+                mib=payload["bytes"] / (1024 * 1024), **payload
+            )
+        )
+    elif args.action == "scrub":
+        print(
+            "scrubbed {cache_dir}: {segments_scanned} segment(s) scanned, "
+            "{records_valid} valid record(s) ({records_salvaged} salvaged), "
+            "{segments_quarantined} segment(s) quarantined, "
+            "{torn_tails} torn tail(s), {corrupt_sites} corrupt site(s), "
+            "{tmp_files_removed} stale tmp file(s) removed".format(**payload)
         )
     else:
         print(
@@ -967,6 +1174,81 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             "{legacy_removed} legacy file(s) removed".format(**payload)
         )
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.resilience import FaultPlan, run_chaos
+
+    if args.spec is not None:
+        spec = args.spec
+        if os.path.isfile(spec):
+            with open(spec, "r", encoding="utf-8") as handle:
+                spec = handle.read()
+        try:
+            plan = FaultPlan.from_spec(spec)
+        except (ValueError, TypeError, KeyError) as exc:
+            raise SystemExit(f"invalid --spec: {exc}")
+    else:
+        if args.faults < 1:
+            raise SystemExit("--faults must be >= 1")
+        plan = FaultPlan.balanced(seed=args.seed, faults=args.faults, window=args.window)
+
+    print(f"repro chaos: {plan.describe()}", file=sys.stderr)
+    report = run_chaos(
+        plan,
+        scale=args.scale,
+        compiler=args.compiler,
+        seed=args.seed,
+        clients=args.clients,
+        workers=args.workers,
+        requests_per_circuit=args.requests_per_circuit,
+        job_timeout=args.job_timeout,
+        wall_deadline=args.wall_deadline,
+    )
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, default=_json_default)
+            handle.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=2, default=_json_default))
+    else:
+        resilience = report["resilience"]
+        scrub = report["scrub"]
+        print(
+            "chaos: {completed}/{jobs} jobs completed in {wall_seconds:.1f}s "
+            "({clients} clients, {workers} workers), "
+            "{faults_fired_total}/{faults_scheduled} scheduled faults fired".format(**report)
+        )
+        print(
+            "  bit_identical={bit_identical} mismatches={n_mismatch} "
+            "unrecovered={n_unrecovered} hung_clients={hung_clients}".format(
+                n_mismatch=len(report["mismatches"]),
+                n_unrecovered=len(report["unrecovered"]),
+                **report,
+            )
+        )
+        print(
+            "  client: attempts={attempts} retries={retries} reconnects={reconnects} "
+            "retry_after_honored={retry_after_honored} hedges={hedges} "
+            "hedge_wins={hedge_wins} giveups={giveups}".format(**resilience)
+        )
+        if scrub:
+            print(
+                "  scrub: {records_valid} valid ({records_salvaged} salvaged), "
+                "{segments_quarantined} quarantined, {corrupt_sites} corrupt "
+                "site(s), {torn_tails} torn tail(s)".format(**scrub)
+            )
+        for item in report["unrecovered"]:
+            print("ERROR job {job} ({name}): {error}".format(**item), file=sys.stderr)
+    if report["ok"]:
+        print("chaos: PASS", file=sys.stderr)
+        return 0
+    print("chaos: FAIL", file=sys.stderr)
+    return 1
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:
@@ -1024,6 +1306,18 @@ def _cmd_perf(args: argparse.Namespace) -> int:
                 "p50={latency_p50_ms:.1f}ms p99={latency_p99_ms:.1f}ms, "
                 "bit_identical={bit_identical}".format(**serve_section)
             )
+        chaos_section = report.get("chaos")
+        if chaos_section:
+            print(
+                "chaos: ok={ok} — {completed}/{jobs} jobs under "
+                "{faults_fired_total}/{faults_scheduled} fired faults, "
+                "retries={retries}, {quarantined} segment(s) quarantined, "
+                "bit_identical={bit_identical}".format(
+                    retries=chaos_section["resilience"]["retries"],
+                    quarantined=chaos_section["scrub"].get("segments_quarantined", 0),
+                    **chaos_section,
+                )
+            )
         incr_section = report.get("incr")
         if incr_section:
             print(
@@ -1058,6 +1352,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "cache": _cmd_cache,
+    "chaos": _cmd_chaos,
     "perf": _cmd_perf,
 }
 

@@ -30,6 +30,7 @@ Isolation properties (proven by ``tests/test_service_server.py``):
 from __future__ import annotations
 
 import collections
+import dataclasses
 import hashlib
 import multiprocessing
 import os
@@ -41,6 +42,11 @@ from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
 __all__ = ["PoolJob", "JobOutcome", "WorkerPool"]
+
+#: Deadline used for a chaos-injected clock skew: the job's real deadline
+#: collapses to (almost) now, so the pump enforces it the way it would a
+#: wildly skewed clock — kill, fail with a retriable ``timeout``, respawn.
+_CLOCK_SKEW_DEADLINE_SECONDS = 0.02
 
 #: Pump-thread poll interval; bounds added latency per completion.
 _POLL_SECONDS = 0.005
@@ -57,6 +63,8 @@ class PoolJob:
     session's shard so edited resubmissions hit the same worker's warm
     per-session pass-memo store.  ``fault`` is the test-only injected
     failure mode (see :data:`repro.service.protocol.FAULT_MODES`).
+    ``priority`` (0–9, higher first) orders each shard's backlog and decides
+    what :meth:`WorkerPool.shed` drops under degraded load.
     """
 
     key: str
@@ -67,6 +75,7 @@ class PoolJob:
     timeout: float = 60.0
     fault: Optional[str] = None
     session: Optional[str] = None
+    priority: int = 5
 
 
 @dataclass
@@ -93,6 +102,7 @@ class _WorkerSlot:
     running: Optional[Tuple[PoolJob, Future, float]] = None  # job, future, deadline
     backlog: Deque[Tuple[PoolJob, Future]] = field(default_factory=collections.deque)
     generation: int = 0
+    injected: Optional[str] = None  # chaos fault riding on the running job
 
 
 #: Per-worker bound on live session memo stores (oldest evicted first).
@@ -165,7 +175,7 @@ def _session_memo(session: Optional[str], memos, cache):
     return memo
 
 
-def _worker_main(worker_index: int, inbox, outbox, cache_spec) -> None:
+def _worker_main(worker_index: int, inbox, outbox, cache_spec, fault_plan=None) -> None:
     """Worker process loop: one job at a time until the ``None`` sentinel."""
     from repro.service.cache import SynthesisCache
     from repro.service.protocol import ERR_COMPILE
@@ -174,6 +184,10 @@ def _worker_main(worker_index: int, inbox, outbox, cache_spec) -> None:
     if cache_spec is not None:
         capacity, directory = cache_spec
         cache = SynthesisCache(capacity=capacity, directory=directory)
+        if fault_plan is not None:
+            # Chaos cache layer: the plan crosses the fork as a plain value;
+            # each worker owns a fresh injector over its own write stream.
+            cache.fault_injector = fault_plan.injector("cache")
     memos: "collections.OrderedDict[str, Any]" = collections.OrderedDict()
     try:
         while True:
@@ -210,6 +224,12 @@ class WorkerPool:
         results through the concurrency-safe segment store.
     default_timeout:
         Per-job deadline in seconds when a job does not carry its own.
+    fault_plan:
+        Optional :class:`~repro.resilience.faultplan.FaultPlan`.  The pool
+        arms its ``worker`` layer (inject ``raise``/``hang``/``exit`` into
+        dispatched jobs that do not already carry an explicit test fault)
+        and its ``clock`` layer (collapse a job's deadline to now, modelling
+        a skewed clock).  Chaos soaks only — never in production.
     """
 
     def __init__(
@@ -217,6 +237,7 @@ class WorkerPool:
         workers: int = 2,
         cache_spec: Optional[Tuple[Optional[int], Optional[str]]] = None,
         default_timeout: float = 60.0,
+        fault_plan: Optional[Any] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -235,6 +256,11 @@ class WorkerPool:
         self._respawns = 0
         self._timeouts = 0
         self._crashes = 0
+        self._probe_respawns = 0
+        self._shed_jobs = 0
+        self._fault_plan = fault_plan
+        self._worker_faults = fault_plan.injector("worker") if fault_plan is not None else None
+        self._clock_faults = fault_plan.injector("clock") if fault_plan is not None else None
         for slot in self._slots:
             self._spawn(slot)
         self._pump_thread = threading.Thread(target=self._pump, name="repro-pool-pump", daemon=True)
@@ -253,6 +279,14 @@ class WorkerPool:
         slot = self._slots[self._shard(job.session or job.key)]
         with self._lock:
             slot.backlog.append((job, future))
+            if len(slot.backlog) > 1 and job.priority > slot.backlog[-2][0].priority:
+                # Higher-priority work jumps the shard's queue.  The backlog
+                # is kept ordered by descending priority (stable sort, so
+                # equal priorities stay strict FIFO); appending only breaks
+                # the order when the newcomer outranks its predecessor.
+                slot.backlog = collections.deque(
+                    sorted(slot.backlog, key=lambda item: -item[0].priority)
+                )
             self._dispatch(slot)
         return future
 
@@ -275,7 +309,83 @@ class WorkerPool:
                 "respawns": self._respawns,
                 "timeouts": self._timeouts,
                 "crashes": self._crashes,
+                "probe_respawns": self._probe_respawns,
+                "shed_jobs": self._shed_jobs,
             }
+
+    def probe(self) -> Dict[str, int]:
+        """Liveness-probe every worker; preemptively respawn dead idle ones.
+
+        The pump only notices a dead worker when it has a *running* job
+        (crash containment); a worker that died while idle — OOM killer,
+        operator ``kill``, a fault injected between jobs — would otherwise
+        sit undetected until the next job dispatched to it timed out.  The
+        daemon's watchdog calls this periodically so the pool is healed
+        *before* traffic hits the dead shard.  Busy workers are left to the
+        pump's crash detection, which also fails the in-flight job properly.
+        """
+        with self._lock:
+            dead_idle = 0
+            if not self._closed.is_set():
+                for slot in self._slots:
+                    if (
+                        slot.running is None
+                        and slot.process is not None
+                        and not slot.process.is_alive()
+                    ):
+                        dead_idle += 1
+                        self._discard_queues(slot)
+                        self._respawns += 1
+                        self._probe_respawns += 1
+                        self._spawn(slot)
+                        self._dispatch(slot)
+            return {"workers": self.workers, "respawned_idle": dead_idle}
+
+    def shed(self, min_priority: int) -> int:
+        """Fail every *queued* job below ``min_priority`` with ``overloaded``.
+
+        Running jobs are never interrupted — shedding is about refusing
+        queued work the daemon can no longer serve in time, not aborting
+        work already paid for.  Returns how many jobs were shed; each
+        resolves to an ``overloaded`` outcome the server answers with a
+        ``retry_after`` hint.
+        """
+        from repro.service.protocol import ERR_OVERLOADED
+
+        shed = 0
+        with self._lock:
+            for slot in self._slots:
+                kept: Deque[Tuple[PoolJob, Future]] = collections.deque()
+                while slot.backlog:
+                    job, future = slot.backlog.popleft()
+                    if job.priority < min_priority:
+                        shed += 1
+                        self._resolve(
+                            future,
+                            JobOutcome(
+                                key=job.key,
+                                ok=False,
+                                error_code=ERR_OVERLOADED,
+                                error_message=(
+                                    f"shed under degraded load "
+                                    f"(priority {job.priority} < {min_priority})"
+                                ),
+                                worker=slot.index,
+                            ),
+                        )
+                    else:
+                        kept.append((job, future))
+                slot.backlog = kept
+            self._shed_jobs += shed
+        return shed
+
+    def fault_counts(self) -> Dict[str, int]:
+        """Chaos faults this pool has actually fired, per ``layer.mode``."""
+        counts: Dict[str, int] = {}
+        for injector in (self._worker_faults, self._clock_faults):
+            if injector is not None:
+                counts.update(injector.fired_counts())
+        return counts
 
     def shutdown(self) -> None:
         """Stop the pump, fail queued jobs, terminate the workers."""
@@ -316,7 +426,7 @@ class WorkerPool:
         slot.generation += 1
         slot.process = self._ctx.Process(
             target=_worker_main,
-            args=(slot.index, slot.inbox, slot.outbox, self.cache_spec),
+            args=(slot.index, slot.inbox, slot.outbox, self.cache_spec, self._fault_plan),
             name=f"repro-serve-worker-{slot.index}",
             daemon=True,
         )
@@ -368,7 +478,19 @@ class WorkerPool:
         if not future.set_running_or_notify_cancel():
             self._dispatch(slot)
             return
+        slot.injected = None
+        if self._worker_faults is not None and job.fault is None:
+            # Chaos: piggyback a scheduled worker fault on this dispatch.
+            # Explicit test faults are never overridden.
+            mode = self._worker_faults.draw()
+            if mode is not None:
+                slot.injected = mode
+                job = dataclasses.replace(job, fault=mode)
         deadline = time.monotonic() + (job.timeout or self.default_timeout)
+        if self._clock_faults is not None and self._clock_faults.draw() == "skew":
+            # Chaos: the job's deadline collapses to (almost) now, as a
+            # badly skewed clock would make it — a retriable timeout.
+            deadline = time.monotonic() + _CLOCK_SKEW_DEADLINE_SECONDS
         slot.running = (job, future, deadline)
         slot.inbox.put(job)
 
@@ -388,7 +510,7 @@ class WorkerPool:
         )
 
     def _pump(self) -> None:
-        from repro.service.protocol import ERR_TIMEOUT, ERR_WORKER_CRASH
+        from repro.service.protocol import ERR_INTERNAL, ERR_TIMEOUT, ERR_WORKER_CRASH
 
         while not self._closed.is_set():
             progressed = False
@@ -407,6 +529,13 @@ class WorkerPool:
                         if slot.running is not None and slot.running[0].key == key:
                             job, future, _ = slot.running
                             slot.running = None
+                            if not ok and slot.injected == "raise":
+                                # A chaos-injected raise is a *transient*
+                                # internal failure, not a property of the
+                                # circuit: surface it as retriable.
+                                code = ERR_INTERNAL
+                                message = "injected transient worker fault (chaos)"
+                            slot.injected = None
                             outcome = JobOutcome(
                                 key=key,
                                 ok=ok,

@@ -21,15 +21,23 @@ Requests carry an ``op``:
     unchanged pass and region (see ``docs/incremental.md``).
     ``fault`` (``raise`` / ``hang`` / ``exit``) is only accepted when the
     server was started with fault injection enabled (test harnesses).
+    ``priority`` (optional int 0–9, default 5; higher is more important)
+    orders queued work and decides what the daemon sheds first when its
+    watchdog declares the queue degraded (see ``docs/resilience.md``).
 ``ping`` / ``stats`` / ``shutdown``
     Liveness probe, counter snapshot, and clean daemon shutdown.
+``health``
+    Watchdog snapshot: queue depth, worker liveness, dedup/cache hit
+    rates, degraded-mode flag and last-scrub age — the op a load balancer
+    or the ``repro chaos`` soak polls.
 
 Responses echo ``id`` and carry ``ok``; failures carry
 ``{"error": {"code": ..., "message": ...}}`` with a code from
 :data:`ERROR_CODES` — most importantly ``overloaded`` (bounded-queue
-backpressure: resubmit later), ``timeout`` (the per-job deadline killed the
-worker) and ``worker-crash`` (the job took its worker down; the pool
-respawned it).  See ``docs/serving.md``.
+backpressure: resubmit later; the frame carries a ``retry_after`` hint in
+seconds that resilient clients honor), ``timeout`` (the per-job deadline
+killed the worker) and ``worker-crash`` (the job took its worker down; the
+pool respawned it).  See ``docs/serving.md`` and ``docs/resilience.md``.
 """
 
 from __future__ import annotations
@@ -50,6 +58,9 @@ __all__ = [
     "ERR_TOO_LARGE",
     "ERR_WORKER_CRASH",
     "ERROR_CODES",
+    "DEFAULT_PRIORITY",
+    "MAX_PRIORITY",
+    "MIN_PRIORITY",
     "FAULT_MODES",
     "FrameReader",
     "ProtocolError",
@@ -88,7 +99,10 @@ ERROR_CODES = (
 #: Faults a test harness may inject into a worker (server opt-in only).
 FAULT_MODES = ("raise", "hang", "exit")
 
-_OPS = ("compile", "ping", "stats", "shutdown")
+_OPS = ("compile", "ping", "stats", "shutdown", "health")
+
+#: Priority bounds for compile requests (higher = shed later).
+MIN_PRIORITY, MAX_PRIORITY, DEFAULT_PRIORITY = 0, 9, 5
 
 
 class ProtocolError(Exception):
@@ -167,7 +181,7 @@ def validate_request(frame: Dict[str, Any], *, allow_fault: bool = False) -> Dic
         raise ProtocolError(f"unknown op {op!r}; expected one of {', '.join(_OPS)}")
     allowed = {"op", "id"}
     if op == "compile":
-        allowed |= {"qasm", "compiler", "seed", "target", "timeout", "fault", "session"}
+        allowed |= {"qasm", "compiler", "seed", "target", "timeout", "fault", "session", "priority"}
     unknown = set(frame) - allowed
     if unknown:
         raise ProtocolError(f"unknown field(s) for op {op!r}: {', '.join(sorted(unknown))}")
@@ -202,9 +216,18 @@ def validate_request(frame: Dict[str, Any], *, allow_fault: bool = False) -> Dic
     session = frame.get("session")
     if session is not None and (not isinstance(session, str) or not session.strip()):
         raise ProtocolError("'session' must be a non-empty string or null")
+    priority = frame.get("priority", DEFAULT_PRIORITY)
+    if (
+        not isinstance(priority, int)
+        or isinstance(priority, bool)
+        or not MIN_PRIORITY <= priority <= MAX_PRIORITY
+    ):
+        raise ProtocolError(
+            f"'priority' must be an integer in [{MIN_PRIORITY}, {MAX_PRIORITY}]"
+        )
     request.update(
         {"qasm": qasm, "compiler": compiler, "seed": seed, "target": target,
-         "timeout": timeout, "fault": fault, "session": session}
+         "timeout": timeout, "fault": fault, "session": session, "priority": priority}
     )
     return request
 

@@ -67,6 +67,7 @@ def test_run_perf_schema_and_file(tmp_path):
         "incr",
         "qasm",
         "serve",
+        "chaos",
         "cache",
     }
     assert report["routing"] is None  # route kind not selected

@@ -294,3 +294,44 @@ def test_suite_broken_qasm_file_is_an_error_entry_not_an_abort(tmp_path, capsys)
     assert len(report["errors"]) == 1
     assert report["errors"][0][0] == "broken"
     assert "frobnicate" in report["errors"][0][1]
+
+
+# ---------------------------------------------------------------------------
+# Structured exit codes (docs/cli.md "Exit codes"): one distinct code per
+# protocol error code, plus EXIT_UNAVAILABLE for "could not reach the daemon".
+# ---------------------------------------------------------------------------
+
+
+def test_exit_codes_cover_every_protocol_error_code_distinctly():
+    from repro.service.cli import EXIT_CODES, EXIT_UNAVAILABLE
+    from repro.service.protocol import ERROR_CODES
+
+    assert set(EXIT_CODES) == set(ERROR_CODES)
+    values = list(EXIT_CODES.values()) + [EXIT_UNAVAILABLE]
+    assert len(values) == len(set(values)), "exit codes must be distinct"
+    # 0 = success and 1 = generic failure are taken; 2 is argparse's usage
+    # error.  The structured range starts at 10 so scripts can tell them apart.
+    assert all(value >= 10 for value in values)
+
+
+def test_submit_unreachable_daemon_exits_with_unavailable(tmp_path, capsys):
+    from repro.service.cli import EXIT_UNAVAILABLE
+
+    missing = str(tmp_path / "nowhere.sock")
+    code, _ = _run(capsys, "submit", "--address", missing, "--ping")
+    assert code == EXIT_UNAVAILABLE
+
+
+def test_submit_maps_daemon_error_to_structured_exit_code(tmp_path, capsys):
+    from repro.service.cli import EXIT_CODES
+    from repro.service.server import CompileServer, ServeConfig
+
+    bad = tmp_path / "bad.qasm"
+    bad.write_text("OPENQASM 2.0;\nqreg q[1];\nfrobnicate q[0];\n")
+    config = ServeConfig(address=str(tmp_path / "cli.sock"), workers=1, cache_dir=None)
+    with CompileServer(config):
+        code, out = _run(capsys, "submit", "--address", config.address,
+                         str(bad), "--json", "--retries", "0")
+    assert code == EXIT_CODES["bad-request"]
+    report = json.loads(out)
+    assert report["errors"][0][2] == "bad-request"

@@ -99,6 +99,7 @@ def test_validate_compile_fills_defaults():
         "timeout": None,
         "session": None,
         "fault": None,
+        "priority": 5,
     }
 
 

@@ -8,10 +8,20 @@ Satellite suites for the compile-service PR:
   a reader never sees a torn record (CRC + length validation make a
   partial tail read as a miss), every surviving writer's entries stay
   readable, and offline compaction preserves all of them.
+* **Compact crash** — a child process SIGKILLs *itself* at each stage of
+  ``compact()``'s rewrite (before the rename, after it, before the old
+  segments are unlinked); a cold reopen plus ``scrub()`` must still serve
+  every live entry with its newest value.  The fast deterministic variant
+  (raising a test hook instead of forking) runs in tier-1 —
+  ``tests/test_resilience.py``.
 * **Serve soak** — several client threads mix real compiles with injected
   raise/hang/exit faults against one daemon; every real compile must
   still come back bit-identical to the sequential reference while the
   pool keeps healing underneath.
+* **Chaos soak** — the acceptance-scale seeded :class:`FaultPlan` (50
+  faults across the worker / clock / socket / cache layers) against a
+  live daemon with resilient clients, mirroring the nightly
+  ``repro chaos`` CLI gate in-process.
 
 These fork dozens of processes and kill some of them, which is too heavy
 for the tier-1 loop — `setup.cfg` deselects the `stress` marker by
@@ -151,6 +161,54 @@ def test_killed_mid_write_cache_stays_readable_repeatedly(tmp_path):
         reader.close()
 
 
+def _compacting_victim_proc(directory, stage):
+    # SIGKILL *ourselves* at the requested stage of compact()'s rewrite —
+    # a real crash, not an exception the caller could clean up after.
+    import repro.service.cache as cache_module
+
+    def hook(point):
+        if point == stage:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    cache_module._compact_test_hook = hook
+    cache = SynthesisCache(capacity=8, directory=directory)
+    cache.compact()
+
+
+@pytest.mark.parametrize("stage", ["pre-replace", "post-replace", "pre-unlink"])
+def test_sigkill_during_compact_never_loses_entries(tmp_path, stage):
+    directory = str(tmp_path / "store")
+    first = SynthesisCache(capacity=8, directory=directory)
+    for i in range(40):
+        first.put(f"key{i}", {"index": i, "pad": b"x" * 256})
+    first.flush()
+    first.close()
+    # A second writer supersedes half the keys in its own segment, so the
+    # crashed compaction leaves genuine cross-segment duplicates behind.
+    second = SynthesisCache(capacity=8, directory=directory)
+    for i in range(20):
+        second.put(f"key{i}", {"index": i, "rev": 2})
+    second.flush()
+    second.close()
+
+    victim = _CTX.Process(target=_compacting_victim_proc, args=(directory, stage))
+    victim.start()
+    victim.join(timeout=60.0)
+    assert victim.exitcode == -signal.SIGKILL
+
+    # A cold reopen + scrub (as a restarted daemon would run) must serve
+    # every key, and the superseded keys must resolve to their newest value.
+    reopened = SynthesisCache(capacity=8, directory=directory)
+    scrub_report = reopened.scrub()
+    assert scrub_report["entries"] >= 40
+    for i in range(40):
+        value = reopened.get(f"key{i}")
+        assert value is not None, f"key{i} lost after SIGKILL at {stage}"
+        if i < 20:
+            assert value == {"index": i, "rev": 2}
+    reopened.close()
+
+
 def test_serve_soak_mixed_faults_and_compiles(tmp_path):
     import threading
 
@@ -203,3 +261,18 @@ def test_serve_soak_mixed_faults_and_compiles(tmp_path):
     assert failures == []
     assert pool_stats["alive"] == config.workers  # the pool healed every time
     assert pool_stats["crashes"] > 0 and pool_stats["timeouts"] > 0
+
+
+def test_chaos_soak_full_fault_plan():
+    # The acceptance-scale soak the nightly `repro chaos` job runs, driven
+    # in-process: 50 seeded faults over every layer, resilient clients, and
+    # a cold post-mortem scrub.  Everything in `ok` is a hard invariant —
+    # bit identity, zero unrecovered jobs, zero hung clients.
+    from repro.resilience import FaultPlan, run_chaos
+
+    plan = FaultPlan.balanced(seed=42, faults=50)
+    report = run_chaos(plan, scale="tiny", requests_per_circuit=3)
+    assert report["ok"], report
+    assert report["completed"] == report["jobs"]
+    assert report["faults_scheduled"] == 50
+    assert report["disk_after_scrub"]["corrupt_records"] == 0

@@ -5,9 +5,11 @@ Used by CI two ways:
 
 * ``compare_bench.py --self-check FRESH.json`` — validate one report:
   every bit-identity section present must be ``true`` (a routing /
-  equivalence / IR / QASM-round-trip / serve-vs-sequential mismatch is a
-  correctness bug) and the schema must match the harness this checkout
-  ships.
+  equivalence / IR / QASM-round-trip / serve-vs-sequential / batched-kernel
+  mismatch is a correctness bug), every stored ``speedup`` must equal the
+  ratio of the two wall-time fields it was computed from (the drift guard:
+  the harness computes each ratio exactly once, this check re-derives it),
+  and the schema must match the harness this checkout ships.
 * ``compare_bench.py COMMITTED.json FRESH.json`` — the nightly gate:
   self-check the fresh report, **hard-fail** on schema drift between the
   two reports or on any bit-identity regression, and print an
@@ -23,11 +25,25 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from typing import Any, Dict, List, Tuple
 
 #: Report sections whose ``bit_identical`` flag gates the build.
-BIT_IDENTITY_SECTIONS = ("routing", "equivalence", "ir", "incr", "qasm", "serve", "chaos")
+BIT_IDENTITY_SECTIONS = (
+    "routing", "equivalence", "ir", "incr", "qasm", "serve", "chaos", "synth_batch",
+)
+
+#: section -> (speedup field, numerator field, denominator field).  Each
+#: stored ratio must equal numerator/denominator from the same report — the
+#: harness computes it once (``repro.perf.harness.speedup_ratio``) and this
+#: check re-derives it, so the number can never drift from its operands.
+SPEEDUP_FIELDS = {
+    "routing": ("speedup", "baseline_seconds", "fast_seconds"),
+    "ir": ("speedup", "legacy_seconds", "ir_seconds"),
+    "incr": ("speedup", "from_scratch_seconds", "incremental_seconds"),
+    "synth_batch": ("speedup", "scalar_seconds", "batch_seconds"),
+}
 
 
 def load_report(path: str) -> Dict[str, Any]:
@@ -45,6 +61,25 @@ def self_check(report: Dict[str, Any], label: str) -> List[str]:
         payload = report.get(section)
         if payload is not None and payload.get("bit_identical") is not True:
             failures.append(f"{label}: {section} is not bit-identical: {payload}")
+    for section, (ratio_field, numerator_field, denominator_field) in SPEEDUP_FIELDS.items():
+        payload = report.get(section)
+        if payload is None:
+            continue
+        stored = payload.get(ratio_field)
+        numerator = payload.get(numerator_field)
+        denominator = payload.get(denominator_field)
+        if stored is None or numerator is None or denominator is None:
+            failures.append(
+                f"{label}: {section} is missing one of "
+                f"{ratio_field}/{numerator_field}/{denominator_field}"
+            )
+            continue
+        derived = numerator / denominator if denominator > 0 else math.inf
+        if not math.isclose(stored, derived, rel_tol=1e-9):
+            failures.append(
+                f"{label}: {section}.{ratio_field} drifted: stored {stored!r} but "
+                f"{numerator_field}/{denominator_field} = {derived!r}"
+            )
     # The chaos soak's verdict is stricter than bit identity alone: it also
     # fails on unrecovered jobs, hung clients and unscrubbed corruption.
     chaos = report.get("chaos")

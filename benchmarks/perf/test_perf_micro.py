@@ -95,3 +95,25 @@ def test_routing_acceptance_scale_speedup():
     _, routing = bench_route(num_qubits=64, num_gates=2000, seed=42, repeats=3)
     assert routing["bit_identical"] is True
     assert routing["speedup"] >= 5.0
+
+
+def test_synth_batch_micro_contracts_hold_at_any_scale():
+    from repro.perf.harness import bench_synth_batch
+
+    _, section = bench_synth_batch(count=24, seed=13, repeats=1, apply_ops=24)
+    # The correctness contracts are scale-independent hard gates; the
+    # documented >=3x batched-KAK throughput is checked at acceptance scale.
+    assert section["bit_identical"] is True
+    assert section["mismatches"] == []
+    assert section["composition_independent"] is True
+    assert section["kak_max_delta"] <= section["kak_tolerance"]
+    assert section["interned_fraction"] > 0.0
+
+
+@pytest.mark.skipif(not _FULL, reason="acceptance-scale run (set REPRO_PERF_FULL=1)")
+def test_synth_batch_acceptance_scale_speedup():
+    from repro.perf.harness import bench_synth_batch
+
+    _, section = bench_synth_batch()  # 192 SU(4)s, the full-mode stack
+    assert section["bit_identical"] is True
+    assert section["speedup"] >= 3.0

@@ -3,11 +3,49 @@
 Installs the ``repro`` package from ``src/`` and exposes the batch
 compilation CLI both as ``python -m repro`` and as the ``repro`` console
 script.  The package needs only numpy and scipy at runtime.
+
+The native SABRE-scoring kernel (``repro.kernels._sabre_native``) is built
+opportunistically: when a C compiler is available the extension compiles and
+``repro.kernels`` auto-selects it, and when it is not (or the build fails
+for any reason) the install still succeeds and the pure-Python fallback is
+selected at runtime — a source install without a toolchain must never fail.
 """
 
 import os
+import sys
 
-from setuptools import find_packages, setup
+from setuptools import Extension, find_packages, setup
+from setuptools.command.build_ext import build_ext
+
+
+class optional_build_ext(build_ext):  # noqa: N801 - setuptools command naming
+    """A ``build_ext`` that treats every extension as best-effort.
+
+    ``Extension(optional=True)`` already tolerates the common compiler
+    errors; this subclass widens the net to *any* build-time exception
+    (missing toolchain, broken headers, exotic platforms) so ``pip
+    install .`` cannot be broken by the accelerator.
+    """
+
+    def run(self):
+        try:
+            super().run()
+        except Exception as exc:  # noqa: BLE001 - tolerate any build failure
+            self._skip(exc)
+
+    def build_extension(self, ext):
+        try:
+            super().build_extension(ext)
+        except Exception as exc:  # noqa: BLE001 - tolerate any build failure
+            self._skip(exc)
+
+    @staticmethod
+    def _skip(exc):
+        print(
+            "WARNING: building the optional repro.kernels native extension "
+            f"failed ({exc}); falling back to the pure-Python kernels.",
+            file=sys.stderr,
+        )
 
 
 def _long_description() -> str:
@@ -20,7 +58,7 @@ def _long_description() -> str:
 
 setup(
     name="repro-reqisc",
-    version="1.5.0",
+    version="1.6.0",
     description=(
         "Reproduction of the ReQISC reconfigurable SU(4) quantum ISA: the "
         "genAshN microarchitecture, the Regulus compiler with a first-class "
@@ -34,6 +72,14 @@ setup(
     python_requires=">=3.9",
     package_dir={"": "src"},
     packages=find_packages("src"),
+    ext_modules=[
+        Extension(
+            "repro.kernels._sabre_native",
+            sources=["src/repro/kernels/_sabre_native.c"],
+            optional=True,
+        )
+    ],
+    cmdclass={"build_ext": optional_build_ext},
     install_requires=[
         "numpy>=1.21",
         "scipy>=1.7",

@@ -20,7 +20,7 @@ shims over it.
 
 from repro._lazy import lazy_exports
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 #: Mapping from public attribute name to "module:attribute" location.
 _LAZY_EXPORTS = {
@@ -43,7 +43,9 @@ _LAZY_EXPORTS = {
     "KAKDecomposition": "repro.linalg.weyl:KAKDecomposition",
     "canonical_gate": "repro.linalg.weyl:canonical_gate",
     "kak_decompose": "repro.linalg.weyl:kak_decompose",
+    "kak_decompose_batch": "repro.linalg.weyl:kak_decompose_batch",
     "weyl_coordinates": "repro.linalg.weyl:weyl_coordinates",
+    "kernels_backend_info": "repro.kernels:backend_info",
     "CouplingHamiltonian": "repro.microarch.hamiltonian:CouplingHamiltonian",
     "GenAshNScheme": "repro.microarch.scheme:GenAshNScheme",
     "PulseProgram": "repro.microarch.scheme:PulseProgram",

@@ -8,14 +8,19 @@ single-qubit corrections, and trivial (identity-class) blocks are dropped.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.compiler.passes.base import CompilerPass
 from repro.gates.gate import UnitaryGate
 from repro.ir import CircuitIR
-from repro.synthesis.two_qubit import two_qubit_to_can_circuit
+from repro.synthesis.two_qubit import two_qubit_to_can_circuits_batch
 
 __all__ = ["FinalizeToCanPass"]
+
+#: Memo namespace version for the per-gate ``{Can, U3}`` expansion.  Bumped
+#: when the synthesis arithmetic changes (v2: batched KAK numerics) so stores
+#: written by older code are never replayed against the new computation.
+_MEMO_CONTEXT = "finalize-can/2"
 
 
 class FinalizeToCanPass(CompilerPass):
@@ -25,6 +30,13 @@ class FinalizeToCanPass(CompilerPass):
     then the single-qubit merge runs as the shared IR kernel.  The
     circuit-level :meth:`run` entry keeps working through the base-class
     adapter.
+
+    All blocks awaiting synthesis are collected first and decomposed in one
+    batched KAK call (:func:`two_qubit_to_can_circuits_batch`) — vectorized
+    linalg over the exact-bytes-deduplicated stack.  Batch items are
+    composition-independent, so it does not matter *which* blocks end up in
+    the batch: a from-scratch compile (everything) and an incremental replay
+    (memo misses only) synthesize any given block bit-identically.
 
     With a memo store attached, each 2Q decomposition is additionally
     memoized per gate content: the ``{Can, U3}`` expansion of a block is a
@@ -46,13 +58,35 @@ class FinalizeToCanPass(CompilerPass):
 
     def run_ir(self, ir: CircuitIR, properties: Dict[str, Any]) -> CircuitIR:
         memo = self.memo
+        if memo is not None:
+            from repro.incremental import MISS, gate_region_key
+
+        pending: List[Tuple[int, Any, Any, Optional[str]]] = []
         for node in list(ir.nodes()):
             instruction = ir.instruction(node)
             gate = instruction.gate
-            if gate.num_qubits == 2 and (isinstance(gate, UnitaryGate) or gate.name != "can"):
-                synthesized = self._synthesize(gate, memo)
-                mapping = {0: instruction.qubits[0], 1: instruction.qubits[1]}
-                ir.replace_block([node], [sub.remap(mapping) for sub in synthesized])
+            if gate.num_qubits != 2 or (not isinstance(gate, UnitaryGate) and gate.name == "can"):
+                continue
+            if memo is not None:
+                key = gate_region_key(gate, _MEMO_CONTEXT)
+                cached = memo.lookup("region", key)
+                if cached is not MISS:
+                    self._replace(ir, node, instruction, cached)
+                    continue
+            else:
+                key = None
+            pending.append((node, instruction, gate, key))
+
+        if pending:
+            circuits = two_qubit_to_can_circuits_batch(
+                [gate.matrix for _, _, gate, _ in pending], qubits=(0, 1)
+            )
+            for (node, instruction, gate, key), circuit in zip(pending, circuits):
+                synthesized = list(circuit)
+                if memo is not None:
+                    memo.store("region", key, synthesized)
+                self._replace(ir, node, instruction, synthesized)
+
         if self.merge_single_qubit:
             from repro.compiler.passes.peephole import _merge_one_qubit_runs_ir
 
@@ -60,16 +94,7 @@ class FinalizeToCanPass(CompilerPass):
         return ir
 
     @staticmethod
-    def _synthesize(gate, memo):
-        """``{Can, U3}`` instructions for ``gate`` on local wires ``(0, 1)``."""
-        if memo is None:
-            return list(two_qubit_to_can_circuit(gate.matrix, qubits=(0, 1)))
-        from repro.incremental import MISS, gate_region_key
-
-        key = gate_region_key(gate, "finalize-can")
-        cached = memo.lookup("region", key)
-        if cached is not MISS:
-            return cached
-        synthesized = list(two_qubit_to_can_circuit(gate.matrix, qubits=(0, 1)))
-        memo.store("region", key, synthesized)
-        return synthesized
+    def _replace(ir: CircuitIR, node: int, instruction, synthesized) -> None:
+        """Splice the local-wire ``{Can, U3}`` expansion over ``node``."""
+        mapping = {0: instruction.qubits[0], 1: instruction.qubits[1]}
+        ir.replace_block([node], [sub.remap(mapping) for sub in synthesized])

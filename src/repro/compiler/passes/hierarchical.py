@@ -23,7 +23,7 @@ from repro.circuits.instruction import Instruction
 from repro.compiler.passes.base import CompilerPass
 from repro.gates.gate import UnitaryGate
 from repro.service.cache import SynthesisCache, unitary_fingerprint
-from repro.simulators.statevector import apply_gate
+from repro.simulators.statevector import apply_gate, apply_gate_sequence
 from repro.synthesis.approximate import ApproximateSynthesizer
 from repro.synthesis.blocks import consolidate_blocks
 
@@ -53,11 +53,11 @@ class MultiQubitBlock:
         """Unitary of the block on its (sorted) local qubits."""
         order = {q: i for i, q in enumerate(self.qubits)}
         dim = 2 ** len(self.qubits)
-        matrix = np.eye(dim, dtype=complex)
-        for instruction in self.instructions:
-            local = [order[q] for q in instruction.qubits]
-            matrix = apply_gate(matrix, instruction.gate.matrix, local, len(self.qubits))
-        return matrix
+        operations = [
+            (instruction.gate.matrix, [order[q] for q in instruction.qubits])
+            for instruction in self.instructions
+        ]
+        return apply_gate_sequence(np.eye(dim, dtype=complex), operations, len(self.qubits))
 
 
 def partition_into_blocks(

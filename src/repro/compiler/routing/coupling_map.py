@@ -37,6 +37,7 @@ class CouplingMap:
         self._edge_tuples: List[Tuple[int, int]] = None
         self._edge_array: np.ndarray = None
         self._incident_edge_ids: List[List[int]] = None
+        self._incident_edge_csr: Tuple[np.ndarray, np.ndarray] = None
 
     # -- constructors --------------------------------------------------------
     @classmethod
@@ -185,6 +186,29 @@ class CouplingMap:
                 incident[b].append(edge_id)
             self._incident_edge_ids = incident
         return self._incident_edge_ids
+
+    def incident_edge_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """:meth:`incident_edge_ids` in CSR form (cached, read-only int64).
+
+        Returns ``(indptr, indices)`` with the edge ids incident to physical
+        qubit ``p`` stored (ascending) at ``indices[indptr[p]:indptr[p+1]]``
+        — the flat layout consumed by the native scoring kernel.
+        """
+        if self._incident_edge_csr is None:
+            incident = self.incident_edge_ids()
+            indptr = np.zeros(self.num_qubits + 1, dtype=np.int64)
+            for qubit, entries in enumerate(incident):
+                indptr[qubit + 1] = indptr[qubit] + len(entries)
+            indices = np.asarray(
+                [edge_id for entries in incident for edge_id in entries],
+                dtype=np.int64,
+            )
+            if indices.size == 0:
+                indices = np.empty(0, dtype=np.int64)
+            indptr.setflags(write=False)
+            indices.setflags(write=False)
+            self._incident_edge_csr = (indptr, indices)
+        return self._incident_edge_csr
 
     def neighbor_sets(self) -> List[frozenset]:
         """Neighbour set per physical qubit (cached; O(1) adjacency tests)."""

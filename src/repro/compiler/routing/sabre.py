@@ -22,7 +22,12 @@ the algorithm:
   gather over the concatenated front+lookahead qubit array, one broadcast
   trial-position computation and vectorized integer distance sums;
 * the lookahead (extended) set is only recomputed after a gate executes —
-  consecutive stalls reuse it.
+  consecutive stalls reuse it;
+* the stall scoring itself (candidate collection + cost evaluation) runs
+  behind the :mod:`repro.kernels` backend interface — the compiled kernel
+  when available, the reference numpy arithmetic otherwise.  Candidate
+  *selection* (argmin / stable argsort + absorption) stays here, so the
+  tie-breaking semantics are backend-independent.
 
 Because all distances are small integers the vectorized sums are exact, and
 the routed output is **bit-identical** to the frozen pre-optimization
@@ -34,7 +39,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,6 +49,7 @@ from repro.circuits.instruction import Instruction
 from repro.compiler.routing.coupling_map import CouplingMap
 from repro.gates import standard
 from repro.gates.gate import UnitaryGate
+from repro.kernels import make_sabre_scorer
 
 __all__ = ["RoutingResult", "SabreRouter"]
 
@@ -137,11 +143,9 @@ class SabreRouter:
         for logical, physical in enumerate(layout_list):
             phys_to_logical[physical] = logical
 
-        distance = self.coupling_map.distance_matrix()
         neighbor_sets = self.coupling_map.neighbor_sets()
         edge_tuples = self.coupling_map.edge_tuples()
-        edge_array = self.coupling_map.edge_array()
-        incident_edge_ids = self.coupling_map.incident_edge_ids()
+        score_stall = make_sabre_scorer(self.coupling_map)
 
         instructions = graph.instructions
         succ_ptr = graph.succ_indptr.tolist()
@@ -246,44 +250,18 @@ class SabreRouter:
                 pair_qubits = np.concatenate((node_q0[nodes], node_q1[nodes]))
                 front_dirty = False
 
-            num_pairs = num_front + num_ext
-            physical_pairs = layout[pair_qubits]  # (2P,): q0 block then q1 block
             # Candidate SWAPs = coupling edges incident to a front physical
             # qubit, as sorted edge *ids* (edge ids are assigned in
             # lexicographic edge order, so sorted ids == the reference's
-            # lexicographically sorted edge list).
-            candidate_ids: Set[int] = set()
-            for physical in physical_pairs[: num_front].tolist():
-                candidate_ids.update(incident_edge_ids[physical])
-            for physical in physical_pairs[num_pairs : num_pairs + num_front].tolist():
-                candidate_ids.update(incident_edge_ids[physical])
-            if not candidate_ids:
+            # lexicographically sorted edge list).  Collection and the
+            # distance/decay cost arithmetic run on the selected kernels
+            # backend; both backends are bit-identical (exact integer sums,
+            # same IEEE-754 operation order).
+            ids, costs, base_cost = score_stall(
+                layout, pair_qubits, num_front, num_ext, lookahead_weight, decay
+            )
+            if not ids:
                 raise RuntimeError("no SWAP candidates found; is the coupling map connected?")
-            ids = sorted(candidate_ids)
-            cand = edge_array[ids]
-            cand_a = cand[:, :1]
-            cand_b = cand[:, 1:]
-
-            # Vectorized heuristic: every sum is over small integer
-            # distances, so numpy reductions are exact and match the
-            # reference implementation's Python sums bit for bit.
-            trial = np.where(
-                physical_pairs == cand_a,
-                cand_b,
-                np.where(physical_pairs == cand_b, cand_a, physical_pairs),
-            )  # (C, 2P) physical positions after each candidate SWAP
-            trial_distance = distance[trial[:, :num_pairs], trial[:, num_pairs:]]
-            base_distance = distance[physical_pairs[:num_pairs], physical_pairs[num_pairs:]]
-            base_cost = base_distance[:num_front].sum() / num_front
-            costs = trial_distance[:, :num_front].sum(axis=1) / num_front
-            if num_ext:
-                base_cost = base_cost + lookahead_weight * (
-                    base_distance[num_front:].sum() / num_ext
-                )
-                costs = costs + lookahead_weight * (
-                    trial_distance[:, num_front:].sum(axis=1) / num_ext
-                )
-            costs = costs * decay[cand].max(axis=1)
 
             chosen: Optional[Tuple[int, int]] = None
             absorb = False

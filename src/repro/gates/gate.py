@@ -21,12 +21,15 @@ recur millions of times across a benchmark suite (every ``cx``, every
 Every interned (and every explicit) matrix is frozen
 (``writeable=False``), so a cached array can never be corrupted in place by
 a pass or simulator — callers that need a scratch copy must ``.copy()``.
-:func:`matrix_cache_stats` exposes hit/miss counters for the perf harness.
+:func:`matrix_cache_stats` exposes hit/miss counters for the perf harness,
+both in aggregate and per gate family (per name), so the batch collectors in
+:mod:`repro.kernels` can report what fraction of their inputs were interned
+and the FIFO pool bound can be sized against real workloads.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -51,6 +54,10 @@ _PARAM_POOL_CAPACITY = 4096
 _CACHE_HITS = 0
 _CACHE_MISSES = 0
 
+#: Per-gate-family (per gate name) hit/miss counters.
+_FAMILY_HITS: Dict[str, int] = {}
+_FAMILY_MISSES: Dict[str, int] = {}
+
 
 def register_matrix_builder(name: str, builder: Callable[..., np.ndarray]) -> None:
     """Register the matrix builder for a named gate.
@@ -64,13 +71,29 @@ def register_matrix_builder(name: str, builder: Callable[..., np.ndarray]) -> No
         del _PARAM_MATRICES[key]
 
 
-def matrix_cache_stats() -> Dict[str, int]:
-    """Intern-pool counters: hits, misses and current sizes."""
+def matrix_cache_stats() -> Dict[str, Any]:
+    """Intern-pool counters: hits, misses, current sizes and per-family rates.
+
+    ``families`` maps each gate name that resolved a matrix since the last
+    reset to its own ``{"hits", "misses", "hit_rate"}`` record, so callers
+    (the perf harness, the batch collectors) can see *which* gate families
+    benefit from interning rather than one aggregate number.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    for name in sorted(_FAMILY_HITS.keys() | _FAMILY_MISSES.keys()):
+        hits = _FAMILY_HITS.get(name, 0)
+        misses = _FAMILY_MISSES.get(name, 0)
+        families[name] = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        }
     return {
         "hits": _CACHE_HITS,
         "misses": _CACHE_MISSES,
         "constant_entries": len(_CONSTANT_MATRICES),
         "parametrized_entries": len(_PARAM_MATRICES),
+        "families": families,
     }
 
 
@@ -79,6 +102,8 @@ def reset_matrix_cache_stats() -> None:
     global _CACHE_HITS, _CACHE_MISSES
     _CACHE_HITS = 0
     _CACHE_MISSES = 0
+    _FAMILY_HITS.clear()
+    _FAMILY_MISSES.clear()
 
 
 def _freeze(matrix: np.ndarray) -> np.ndarray:
@@ -97,17 +122,20 @@ def _interned_matrix(name: str, params: Tuple[float, ...]) -> np.ndarray:
         cached = _CONSTANT_MATRICES.get(name)
         if cached is not None:
             _CACHE_HITS += 1
+            _FAMILY_HITS[name] = _FAMILY_HITS.get(name, 0) + 1
             return cached
     else:
         cached = _PARAM_MATRICES.get((name, params))
         if cached is not None:
             _CACHE_HITS += 1
+            _FAMILY_HITS[name] = _FAMILY_HITS.get(name, 0) + 1
             return cached
     try:
         builder = _MATRIX_BUILDERS[name]
     except KeyError:
         raise KeyError(f"no matrix builder registered for gate {name!r}") from None
     _CACHE_MISSES += 1
+    _FAMILY_MISSES[name] = _FAMILY_MISSES.get(name, 0) + 1
     matrix = _freeze(builder(*params))
     if not params:
         _CONSTANT_MATRICES[name] = matrix

@@ -47,6 +47,7 @@ __all__ = [
     "install_kak_cache",
     "installed_kak_cache",
     "kak_decompose",
+    "kak_decompose_batch",
     "local_equivalence_distance",
     "makhlin_invariants",
     "mirror_coordinates",
@@ -476,6 +477,19 @@ def kak_decompose(unitary: np.ndarray, validate: bool = True) -> KAKDecompositio
     if cache is not None and cache_key is not None:
         cache.put(cache_key, result)
     return result
+
+
+def kak_decompose_batch(unitaries, validate: bool = True):
+    """Batched :func:`kak_decompose` over a sequence of 4x4 unitaries.
+
+    Delegates to :mod:`repro.kernels.kak_batch`, which runs the dense
+    numerics as vectorized calls over the deduplicated stack (lazy import:
+    the kernels layer depends on this module).  Returns a list of
+    :class:`KAKDecomposition` aligned with ``unitaries``.
+    """
+    from repro.kernels.kak_batch import kak_decompose_batch as _batch
+
+    return _batch(unitaries, validate=validate)
 
 
 def weyl_coordinates(unitary: np.ndarray) -> Tuple[float, float, float]:

@@ -16,10 +16,10 @@ measurement methodology of the systems papers this repo tracks:
   the baseline, and the equivalence sweep re-checks that over the whole
   workload suite.
 
-Report schema (``schema = "repro-perf/5"``)::
+Report schema (``schema = "repro-perf/7"``)::
 
     {
-      "schema": "repro-perf/5",
+      "schema": "repro-perf/7",
       "created_unix": <float>,            # seconds since epoch
       "quick": <bool>,                    # quick mode (CI smoke) or full
       "seed": <int>,
@@ -86,9 +86,28 @@ Report schema (``schema = "repro-perf/5"``)::
         "ok": bool,                               # the single soak verdict
         "bit_identical": bool,                    # chaos daemon == fault-free
         "mismatches": [...]},
+      "synth_batch": {                    # batched KAK / kernel-layer family
+        "count": int, "unique": int, "interned": int,
+        "interned_fraction": float,               # exact-bytes dedup rate
+        "scalar_seconds": float,                  # one-at-a-time kak_decompose
+        "batch_seconds": float,                   # kak_decompose_batch
+        "speedup": float,                         # scalar / batch
+        "kak_max_delta": float, "kak_tolerance": float,
+        "apply_loop_seconds": float,              # per-gate apply_gate fold
+        "apply_seq_seconds": float,               # apply_gate_sequence kernel
+        "apply_speedup": float,
+        "composition_independent": bool,          # batch grouping can't perturb
+        "bit_identical": bool,                    # all three kernel contracts
+        "mismatches": [str, ...]},
+      "kernels": {...},                   # repro.kernels.backend_info()
       "cache": {"synthesis": {...} | None,        # CacheStats.as_dict()
                 "gate_matrix": {...}}             # matrix_cache_stats()
     }
+
+Every section carrying a ``speedup`` computes it through the single
+:func:`speedup_ratio` helper from the two ``*_seconds`` fields it reports;
+``compare_bench.py`` re-derives the ratio on every self-check so the stored
+number can never drift from its operands.
 """
 
 from __future__ import annotations
@@ -116,13 +135,15 @@ __all__ = [
     "bench_serve",
     "bench_chaos",
     "bench_synthesize",
+    "bench_synth_batch",
     "bench_simulate",
     "routing_equivalence",
     "run_perf",
+    "speedup_ratio",
     "write_report",
 ]
 
-SCHEMA_VERSION = "repro-perf/6"
+SCHEMA_VERSION = "repro-perf/7"
 
 #: Workload categories exercised by the compile benchmark (a representative
 #: slice; the full suite is covered by the equivalence sweep).
@@ -134,7 +155,7 @@ class PerfRecord:
     """One microbenchmark measurement."""
 
     name: str
-    kind: str  # "compile" | "route" | "synthesize" | "simulate" | "ir"
+    kind: str  # "compile" | "route" | "synthesize" | "synth_batch" | "simulate" | "ir" | ...
     repeats: int
     wall_seconds: float  # best of repeats
     mean_seconds: float
@@ -160,6 +181,18 @@ class PerfRecord:
             "gates_per_second": self.gates_per_second,
             "extra": self.extra,
         }
+
+
+def speedup_ratio(baseline_seconds: float, fast_seconds: float) -> float:
+    """The one place a report ``speedup`` is computed.
+
+    Every section stores the two operand wall times next to the ratio, and
+    ``compare_bench.py`` re-derives the ratio from them on self-check — the
+    historical drift (one consumer recomputing ``baseline/fast`` while
+    another read the stored field) cannot recur as long as both sides agree
+    on this definition.
+    """
+    return baseline_seconds / fast_seconds if fast_seconds > 0 else float("inf")
 
 
 def _time(fn: Callable[[], Any], repeats: int) -> Tuple[float, float, Any]:
@@ -281,7 +314,7 @@ def bench_route(
             "topology": coupling_map.name,
             "baseline_seconds": ref_best,
             "fast_seconds": best,
-            "speedup": ref_best / best if best > 0 else float("inf"),
+            "speedup": speedup_ratio(ref_best, best),
             "bit_identical": circuits_bit_identical(result.circuit, ref_result.circuit)
             and result.final_layout == ref_result.final_layout,
         }
@@ -456,7 +489,7 @@ def bench_ir(
         "dag_builds_per_compile": ir_stats["dag_builds"] / compiles,
         "ir_seconds": ir_best,
         "legacy_seconds": legacy_best,
-        "speedup": legacy_best / ir_best if ir_best > 0 else float("inf"),
+        "speedup": speedup_ratio(legacy_best, ir_best),
         "bit_identical": bit_identical,
     }
     return records, section
@@ -845,7 +878,7 @@ def bench_incr(
         "warm_compile_seconds": warm_seconds,
         "from_scratch_seconds": scratch_mean,
         "incremental_seconds": incremental_mean,
-        "speedup": scratch_mean / incremental_mean if incremental_mean > 0 else float("inf"),
+        "speedup": speedup_ratio(scratch_mean, incremental_mean),
         "memo_hits": memo_hits,
         "memo_misses": memo_misses,
         "bit_identical": not mismatches,
@@ -897,6 +930,185 @@ def bench_synthesize(count: int = 64, seed: int = 7, repeats: int = 3) -> List[P
             extra={"unitaries": count},
         )
     ]
+
+
+def bench_synth_batch(
+    count: int = 192,
+    seed: int = 13,
+    repeats: int = 3,
+    apply_qubits: int = 4,
+    apply_ops: int = 96,
+) -> Tuple[List[PerfRecord], Dict[str, Any]]:
+    """The ``synth.batch`` family: batched kernel layer vs one-at-a-time.
+
+    Three measurements over deterministic workloads, each paired with its
+    correctness contract:
+
+    * **Batched KAK** — ``count`` SU(4) matrices (with exact-bytes duplicates
+      at the rate fused blocks recur in real programs) decomposed by
+      :func:`repro.kernels.kak_decompose_batch` vs a scalar
+      ``kak_decompose`` loop.  Every coordinate/local-factor/phase must agree
+      within 1e-12, and the batch must be *composition independent*: splitting
+      the same inputs across two smaller batches must reproduce the full
+      batch's results bit for bit (the invariant that lets the finalize and
+      consolidation passes group memo misses freely).
+    * **Interning** — the collector's exact-bytes dedup counters
+      (:func:`repro.kernels.batch_stats`), reported as ``interned_fraction``.
+    * **apply_gate_sequence** — the unitary-accumulation kernel vs a
+      per-gate ``apply_gate`` fold, which must be bitwise-exact.
+    """
+    from repro.kernels import batch_stats, kak_decompose_batch, reset_batch_stats
+    from repro.linalg.random import haar_random_su4
+    from repro.linalg.su2 import u3_matrix
+    from repro.linalg.weyl import kak_decompose
+    from repro.simulators.statevector import apply_gate, apply_gate_sequence
+
+    rng = np.random.default_rng(seed)
+    num_unique = max(1, (3 * count) // 4)
+    base = [haar_random_su4(rng) for _ in range(num_unique)]
+    unitaries = list(base)
+    while len(unitaries) < count:
+        unitaries.append(base[len(unitaries) % num_unique])
+
+    scalar_best, scalar_mean, scalar_results = _time(
+        lambda: [kak_decompose(u) for u in unitaries], repeats
+    )
+    reset_batch_stats()
+    batch_best, batch_mean, batch_results = _time(
+        lambda: kak_decompose_batch(unitaries), repeats
+    )
+    stats = batch_stats()
+    interned_fraction = stats["interned"] / stats["inputs"] if stats["inputs"] else 0.0
+
+    def _max_delta(a, b) -> float:
+        return max(
+            abs(a.global_phase - b.global_phase),
+            abs(a.x - b.x),
+            abs(a.y - b.y),
+            abs(a.z - b.z),
+            float(np.max(np.abs(a.l1 - b.l1))),
+            float(np.max(np.abs(a.l2 - b.l2))),
+            float(np.max(np.abs(a.r1 - b.r1))),
+            float(np.max(np.abs(a.r2 - b.r2))),
+        )
+
+    def _bit_identical(a, b) -> bool:
+        return (
+            a.global_phase == b.global_phase
+            and (a.x, a.y, a.z) == (b.x, b.y, b.z)
+            and np.array_equal(a.l1, b.l1)
+            and np.array_equal(a.l2, b.l2)
+            and np.array_equal(a.r1, b.r1)
+            and np.array_equal(a.r2, b.r2)
+        )
+
+    kak_tolerance = 1e-12
+    kak_max_delta = max(
+        _max_delta(a, b) for a, b in zip(scalar_results, batch_results)
+    )
+    half = len(unitaries) // 2
+    split_results = kak_decompose_batch(unitaries[:half]) + kak_decompose_batch(
+        unitaries[half:]
+    )
+    composition_independent = all(
+        _bit_identical(a, b) for a, b in zip(batch_results, split_results)
+    )
+
+    # The unitary-accumulation kernel on the hierarchical/approximate shape.
+    operations: List[Tuple[np.ndarray, Tuple[int, ...]]] = []
+    for index in range(apply_ops):
+        if index % 3 == 0:
+            theta, phi, lam = rng.uniform(0.0, 2.0 * np.pi, 3)
+            operations.append(
+                (u3_matrix(float(theta), float(phi), float(lam)),
+                 (int(rng.integers(apply_qubits)),))
+            )
+        else:
+            a, b = rng.choice(apply_qubits, size=2, replace=False)
+            operations.append((haar_random_su4(rng), (int(a), int(b))))
+    dim = 2**apply_qubits
+
+    def apply_loop() -> np.ndarray:
+        state = np.eye(dim, dtype=complex)
+        for matrix, qubits in operations:
+            state = apply_gate(state, matrix, qubits, apply_qubits)
+        return state
+
+    loop_best, loop_mean, loop_result = _time(apply_loop, repeats)
+    seq_best, seq_mean, seq_result = _time(
+        lambda: apply_gate_sequence(np.eye(dim, dtype=complex), operations, apply_qubits),
+        repeats,
+    )
+    apply_exact = bool(np.array_equal(loop_result, seq_result))
+
+    mismatches: List[str] = []
+    if kak_max_delta > kak_tolerance:
+        mismatches.append(f"kak: scalar-vs-batch delta {kak_max_delta:.3e} > {kak_tolerance}")
+    if not composition_independent:
+        mismatches.append("kak: batch results depend on batch composition")
+    if not apply_exact:
+        mismatches.append("apply_gate_sequence: not bitwise-identical to the per-gate fold")
+
+    records = [
+        PerfRecord(
+            name=f"synth.batch.kak.su4x{count}",
+            kind="synth_batch",
+            repeats=repeats,
+            wall_seconds=batch_best,
+            mean_seconds=batch_mean,
+            gates=count,
+            extra={
+                "implementation": "batched",
+                "unique": stats["unique"] // max(1, stats["batches"]),
+                "interned_fraction": interned_fraction,
+            },
+        ),
+        PerfRecord(
+            name=f"synth.batch.kak.su4x{count}.scalar",
+            kind="synth_batch",
+            repeats=repeats,
+            wall_seconds=scalar_best,
+            mean_seconds=scalar_mean,
+            gates=count,
+            extra={"implementation": "one-at-a-time"},
+        ),
+        PerfRecord(
+            name=f"synth.batch.apply.seq.{apply_qubits}q{apply_ops}ops",
+            kind="synth_batch",
+            repeats=repeats,
+            wall_seconds=seq_best,
+            mean_seconds=seq_mean,
+            gates=apply_ops,
+            extra={"implementation": "sequence-kernel", "num_qubits": apply_qubits},
+        ),
+        PerfRecord(
+            name=f"synth.batch.apply.loop.{apply_qubits}q{apply_ops}ops",
+            kind="synth_batch",
+            repeats=repeats,
+            wall_seconds=loop_best,
+            mean_seconds=loop_mean,
+            gates=apply_ops,
+            extra={"implementation": "per-gate-loop", "num_qubits": apply_qubits},
+        ),
+    ]
+    section = {
+        "count": count,
+        "unique": stats["unique"] // max(1, stats["batches"]),
+        "interned": stats["interned"] // max(1, stats["batches"]),
+        "interned_fraction": interned_fraction,
+        "scalar_seconds": scalar_best,
+        "batch_seconds": batch_best,
+        "speedup": speedup_ratio(scalar_best, batch_best),
+        "kak_max_delta": kak_max_delta,
+        "kak_tolerance": kak_tolerance,
+        "apply_loop_seconds": loop_best,
+        "apply_seq_seconds": seq_best,
+        "apply_speedup": speedup_ratio(loop_best, seq_best),
+        "composition_independent": composition_independent,
+        "bit_identical": not mismatches,
+        "mismatches": mismatches,
+    }
+    return records, section
 
 
 def bench_simulate(num_qubits: int = 10, seed: int = 11, repeats: int = 3) -> List[PerfRecord]:
@@ -973,12 +1185,14 @@ def run_perf(
     acceptance-scale routing benchmark (>=64 qubits, >=2000 gates, anchored
     baseline) runs in both modes.  ``kinds`` restricts to a subset of
     ``{"compile", "route", "incr", "ir", "qasm", "serve", "chaos",
-    "synthesize", "simulate"}``.
+    "synthesize", "synth_batch", "simulate"}``.
     """
     from repro.gates.gate import matrix_cache_stats, reset_matrix_cache_stats
+    from repro.kernels import backend_info
 
     all_kinds = {
-        "compile", "route", "incr", "ir", "qasm", "serve", "chaos", "synthesize", "simulate",
+        "compile", "route", "incr", "ir", "qasm", "serve", "chaos",
+        "synthesize", "synth_batch", "simulate",
     }
     selected = set(kinds) if kinds else set(all_kinds)
     unknown = selected - all_kinds
@@ -996,6 +1210,7 @@ def run_perf(
     serve_section: Optional[Dict[str, Any]] = None
     chaos_section: Optional[Dict[str, Any]] = None
     incr_section: Optional[Dict[str, Any]] = None
+    synth_batch_section: Optional[Dict[str, Any]] = None
 
     if "route" in selected:
         route_records, routing = bench_route(
@@ -1058,6 +1273,15 @@ def run_perf(
         records.extend(chaos_records)
     if "synthesize" in selected:
         records.extend(bench_synthesize(count=16 if quick else 64, repeats=repeats))
+    if "synth_batch" in selected:
+        # The acceptance workload is the full-mode one (>=3x batched-KAK
+        # throughput); quick mode shrinks the stack but keeps every
+        # correctness contract (1e-12 agreement, composition independence,
+        # bitwise apply_gate_sequence) at full strength.
+        synth_batch_records, synth_batch_section = bench_synth_batch(
+            count=48 if quick else 192, seed=13, repeats=repeats
+        )
+        records.extend(synth_batch_records)
     if "simulate" in selected:
         records.extend(bench_simulate(num_qubits=8 if quick else 10, repeats=repeats))
 
@@ -1079,6 +1303,8 @@ def run_perf(
         "qasm": qasm_section,
         "serve": serve_section,
         "chaos": chaos_section,
+        "synth_batch": synth_batch_section,
+        "kernels": backend_info(),
         "cache": {
             "synthesis": synthesis_cache,
             "gate_matrix": matrix_cache_stats(),

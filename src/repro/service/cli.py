@@ -539,9 +539,10 @@ def build_parser() -> argparse.ArgumentParser:
         "perf",
         help="run the performance microbenchmark suite and write BENCH_*.json",
         description=(
-            "Times the compile/route/synthesize/simulate hot paths over "
-            "deterministic workloads, anchors the routing measurement to the "
-            "frozen pre-optimization SABRE baseline, and writes a "
+            "Times the compile/route/synthesize/simulate hot paths plus the "
+            "synth.batch kernel family (batched KAK, apply_gate_sequence) "
+            "over deterministic workloads, anchors the routing measurement "
+            "to the frozen pre-optimization SABRE baseline, and writes a "
             "schema-stable BENCH_*.json report (see docs/performance.md)."
         ),
     )
@@ -552,7 +553,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--only",
         metavar="KIND",
         action="append",
-        choices=("compile", "route", "incr", "ir", "qasm", "serve", "chaos", "synthesize", "simulate"),
+        choices=(
+            "compile", "route", "incr", "ir", "qasm", "serve", "chaos",
+            "synthesize", "synth_batch", "simulate",
+        ),
         help="restrict to one benchmark kind (repeatable; default: all)",
     )
     perf_parser.add_argument("--seed", type=int, default=42, help="workload seed (default: 42)")
@@ -1334,6 +1338,21 @@ def _cmd_perf(args: argparse.Namespace) -> int:
                 "compile (legacy {legacy_conversions_per_compile:.1f}), "
                 "{speedup:.2f}x over per-pass marshalling, "
                 "bit_identical={bit_identical}".format(**ir_section)
+            )
+        synth_batch = report.get("synth_batch")
+        if synth_batch:
+            print(
+                "synth.batch: {speedup:.2f}x batched KAK over one-at-a-time "
+                "({scalar_seconds:.4f}s -> {batch_seconds:.4f}s, {count} unitaries, "
+                "{interned_fraction:.0%} interned), "
+                "apply-sequence {apply_speedup:.2f}x, "
+                "bit_identical={bit_identical}".format(**synth_batch)
+            )
+        kernels = report.get("kernels")
+        if kernels:
+            print(
+                "kernels: backend={backend} (requested={requested}, "
+                "native_available={native_available})".format(**kernels)
             )
         gate_cache = report["cache"]["gate_matrix"]
         print(

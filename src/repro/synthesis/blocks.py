@@ -17,7 +17,7 @@ import numpy as np
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.instruction import Instruction
 from repro.gates.gate import UnitaryGate
-from repro.simulators.statevector import apply_gate
+from repro.simulators.statevector import apply_gate_sequence
 
 __all__ = [
     "TwoQubitBlock",
@@ -54,11 +54,11 @@ class TwoQubitBlock:
 def block_unitary(block: TwoQubitBlock) -> np.ndarray:
     """4x4 unitary of a block, with ``block.qubits[0]`` as the first qubit."""
     local_index = {block.qubits[0]: 0, block.qubits[1]: 1}
-    unitary = np.eye(4, dtype=complex)
-    for instruction in block.instructions:
-        local_qubits = [local_index[q] for q in instruction.qubits]
-        unitary = apply_gate(unitary, instruction.gate.matrix, local_qubits, 2)
-    return unitary
+    operations = [
+        (instruction.gate.matrix, [local_index[q] for q in instruction.qubits])
+        for instruction in block.instructions
+    ]
+    return apply_gate_sequence(np.eye(4, dtype=complex), operations, 2)
 
 
 def _collect_blocks(
@@ -157,6 +157,87 @@ def _fuse_block(
     return replacement
 
 
+#: Sentinel distinguishing "not yet computed" from "keep the original run"
+#: (``None``) in the batched fusion helper.
+_PENDING = object()
+
+#: Memo namespace version for the batched ``"can"`` fusion (v2: batched KAK
+#: numerics) — stores written by the scalar-arithmetic code are never
+#: replayed against the batch computation.
+_CAN_FUSE_CONTEXT = "fuse/2"
+
+
+def _fuse_blocks(
+    blocks: List[TwoQubitBlock],
+    form: OutputForm,
+    only_if_fewer_gates: bool,
+    memo: Optional[Any] = None,
+) -> List[Optional[List[Instruction]]]:
+    """Replacement lists for ``blocks`` (``None`` = keep the original run).
+
+    The ``"can"`` form collects every non-memoized block unitary and runs the
+    KAK decompositions as one vectorized batch; batch items are
+    composition-independent, so memo hit/miss grouping (and the flat-vs-IR
+    entry point) cannot perturb any block's synthesis.  Other forms fuse one
+    block at a time as before.
+    """
+    if form != "can":
+        if memo is not None:
+            return [
+                _fuse_block_memo(block, form, only_if_fewer_gates, memo)
+                for block in blocks
+            ]
+        return [_fuse_block(block, form, only_if_fewer_gates) for block in blocks]
+
+    from repro.synthesis.two_qubit import two_qubit_to_can_circuits_batch
+
+    results: List[Any] = [_PENDING] * len(blocks)
+    keys: List[Optional[str]] = [None] * len(blocks)
+    if memo is not None:
+        from repro.incremental import MISS, region_fingerprint
+
+        for index, block in enumerate(blocks):
+            mapping = {block.qubits[0]: 0, block.qubits[1]: 1}
+            local = [instr.remap(mapping) for instr in block.instructions]
+            keys[index] = region_fingerprint(
+                local, _CAN_FUSE_CONTEXT, form, f"fewer={only_if_fewer_gates}"
+            )
+            cached = memo.lookup("region", keys[index])
+            if cached is MISS:
+                continue
+            if cached is None:
+                results[index] = None
+            else:
+                inverse = {0: block.qubits[0], 1: block.qubits[1]}
+                results[index] = [instr.remap(inverse) for instr in cached]
+
+    pending = [index for index, value in enumerate(results) if value is _PENDING]
+    if pending:
+        circuits = two_qubit_to_can_circuits_batch(
+            [block_unitary(blocks[index]) for index in pending], qubits=(0, 1)
+        )
+        for index, circuit in zip(pending, circuits):
+            block = blocks[index]
+            mapping = {0: block.qubits[0], 1: block.qubits[1]}
+            replacement = [instr.remap(mapping) for instr in circuit]
+            if only_if_fewer_gates:
+                new_count = sum(1 for instr in replacement if instr.is_two_qubit)
+                if new_count >= block.num_two_qubit_gates:
+                    replacement = None
+            if memo is not None:
+                if replacement is None:
+                    memo.store("region", keys[index], None)
+                else:
+                    forward = {block.qubits[0]: 0, block.qubits[1]: 1}
+                    memo.store(
+                        "region",
+                        keys[index],
+                        [instr.remap(forward) for instr in replacement],
+                    )
+            results[index] = replacement
+    return results
+
+
 def consolidate_blocks(
     circuit: QuantumCircuit,
     form: OutputForm = "unitary",
@@ -175,8 +256,7 @@ def consolidate_blocks(
     for position, instruction in leftovers:
         emissions.setdefault(position, []).append(instruction)
 
-    for block in blocks:
-        replacement = _fuse_block(block, form, only_if_fewer_gates)
+    for block, replacement in zip(blocks, _fuse_blocks(blocks, form, only_if_fewer_gates)):
         if replacement is None:  # kept run, emitted at its start position
             replacement = list(block.instructions)
         emissions.setdefault(block.start_position, []).extend(replacement)
@@ -234,11 +314,9 @@ def consolidate_blocks_ir(
     block content (see :func:`_fuse_block_memo`).
     """
     blocks, _ = _collect_blocks([(node, ir.instruction(node)) for node in ir.nodes()])
-    for block in blocks:
-        if memo is not None:
-            replacement = _fuse_block_memo(block, form, only_if_fewer_gates, memo)
-        else:
-            replacement = _fuse_block(block, form, only_if_fewer_gates)
+    for block, replacement in zip(
+        blocks, _fuse_blocks(blocks, form, only_if_fewer_gates, memo=memo)
+    ):
         if replacement is None:
             # Kept run: the flat path still collapses it onto the block's
             # start position, which only matters when other instructions are

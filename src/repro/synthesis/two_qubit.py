@@ -34,6 +34,7 @@ from repro.linalg.weyl import (
 
 __all__ = [
     "two_qubit_to_can_circuit",
+    "two_qubit_to_can_circuits_batch",
     "two_qubit_to_cnot_circuit",
     "canonical_to_cnot_circuit",
     "two_qubit_to_fixed_basis_circuit",
@@ -52,15 +53,11 @@ def _append_u3(circuit: QuantumCircuit, matrix: np.ndarray, qubit: int) -> None:
     circuit.u3(theta, phi, lam, qubit)
 
 
-def two_qubit_to_can_circuit(
-    unitary: np.ndarray, qubits: Sequence[int] = (0, 1), num_qubits: int = 2
+def _can_circuit_from_decomposition(
+    decomposition, qubits: Sequence[int], num_qubits: int
 ) -> QuantumCircuit:
-    """Synthesize a 4x4 unitary into ``U3 - Can - U3`` form (the ReQISC ISA).
-
-    Identity-class targets produce no two-qubit gate at all.
-    """
+    """``U3 - Can - U3`` circuit realizing a :class:`KAKDecomposition`."""
     q0, q1 = qubits
-    decomposition = kak_decompose(np.asarray(unitary, dtype=complex))
     circuit = QuantumCircuit(num_qubits, "can_synthesis")
     _append_u3(circuit, decomposition.r1, q0)
     _append_u3(circuit, decomposition.r2, q1)
@@ -70,6 +67,41 @@ def two_qubit_to_can_circuit(
     _append_u3(circuit, decomposition.l1, q0)
     _append_u3(circuit, decomposition.l2, q1)
     return circuit
+
+
+def two_qubit_to_can_circuit(
+    unitary: np.ndarray, qubits: Sequence[int] = (0, 1), num_qubits: int = 2
+) -> QuantumCircuit:
+    """Synthesize a 4x4 unitary into ``U3 - Can - U3`` form (the ReQISC ISA).
+
+    Identity-class targets produce no two-qubit gate at all.
+    """
+    decomposition = kak_decompose(np.asarray(unitary, dtype=complex))
+    return _can_circuit_from_decomposition(decomposition, qubits, num_qubits)
+
+
+def two_qubit_to_can_circuits_batch(
+    unitaries: Sequence[np.ndarray],
+    qubits: Sequence[int] = (0, 1),
+    num_qubits: int = 2,
+) -> list:
+    """Batched :func:`two_qubit_to_can_circuit` over N unitaries.
+
+    The KAK decompositions run as one vectorized batch
+    (:func:`repro.linalg.weyl.kak_decompose_batch`, exact-bytes
+    deduplicated); the circuit assembly is per item.  Used by the finalize
+    pass and block consolidation, which collect all blocks awaiting
+    synthesis and decompose them in one call.
+    """
+    from repro.linalg.weyl import kak_decompose_batch
+
+    decompositions = kak_decompose_batch(
+        [np.asarray(u, dtype=complex) for u in unitaries]
+    )
+    return [
+        _can_circuit_from_decomposition(decomposition, qubits, num_qubits)
+        for decomposition in decompositions
+    ]
 
 
 def cnot_count_for_coordinates(coords: Sequence[float], atol: float = 1e-8) -> int:

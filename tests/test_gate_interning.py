@@ -42,6 +42,23 @@ def test_repeated_parametrized_gate_hits_cache():
     np.testing.assert_array_equal(first, again)
 
 
+def test_per_family_counters_track_each_gate_name():
+    reset_matrix_cache_stats()
+    standard.h_gate().matrix  # constant pool: hit
+    standard.rz_gate(0.7712345531).matrix  # fresh params: miss
+    standard.rz_gate(0.7712345531).matrix  # repeat: hit
+    families = matrix_cache_stats()["families"]
+    assert families["h"] == {"hits": 1, "misses": 0, "hit_rate": 1.0}
+    assert families["rz"]["hits"] == 1 and families["rz"]["misses"] == 1
+    assert families["rz"]["hit_rate"] == 0.5
+    # Aggregate counters stay consistent with the per-family breakdown.
+    stats = matrix_cache_stats()
+    assert stats["hits"] == sum(f["hits"] for f in stats["families"].values())
+    assert stats["misses"] == sum(f["misses"] for f in stats["families"].values())
+    reset_matrix_cache_stats()
+    assert matrix_cache_stats()["families"] == {}
+
+
 def test_interned_matrices_are_read_only():
     for gate in (
         standard.cx_gate(),

@@ -1,0 +1,322 @@
+"""The kernel layer: backend selection, native-vs-python bit identity,
+batched KAK agreement and the sequence-application contract.
+
+The native SABRE scoring extension is optional — tests that need it skip
+cleanly when this checkout was installed without a C compiler (the
+``REPRO_KERNELS=py`` CI job runs exactly that configuration, which is the
+point: the fallback must carry the full contract on its own).
+"""
+
+import numpy as np
+import pytest
+
+import repro.kernels as kernels
+from repro.compiler.routing.coupling_map import CouplingMap
+from repro.compiler.routing.sabre import SabreRouter
+from repro.compiler.routing.sabre_reference import ReferenceSabreRouter
+from repro.kernels import (
+    backend_info,
+    kak_decompose_batch,
+    make_sabre_scorer,
+    select_backend,
+)
+from repro.kernels.sabre_score import make_scorer
+from repro.linalg.random import haar_random_su4
+from repro.linalg.weyl import kak_decompose
+from repro.perf.harness import circuits_bit_identical, random_two_qubit_circuit
+from repro.simulators.statevector import apply_gate, apply_gate_sequence
+
+NATIVE_AVAILABLE = backend_info()["native_available"]
+
+needs_native = pytest.mark.skipif(
+    not NATIVE_AVAILABLE, reason="native extension not built in this checkout"
+)
+
+
+# ---------------------------------------------------------------------------
+# Backend selection.
+# ---------------------------------------------------------------------------
+
+
+def test_backend_info_shape():
+    info = backend_info()
+    assert set(info) == {
+        "requested", "backend", "native_available", "native_module", "native_error",
+    }
+    assert info["requested"] in ("auto", "py", "native")
+    assert info["backend"] in ("py", "native")
+    if info["backend"] == "native":
+        assert info["native_available"] is True
+
+
+def test_env_override_forces_py(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNELS", "py")
+    assert select_backend() == "py"
+    assert backend_info()["backend"] == "py"
+    assert backend_info()["requested"] == "py"
+
+
+def test_auto_degrades_to_py_when_extension_missing(monkeypatch):
+    monkeypatch.setattr(kernels, "_NATIVE", (None, "forced-missing"))
+    monkeypatch.setenv("REPRO_KERNELS", "auto")
+    assert select_backend() == "py"
+    info = backend_info()
+    assert info["backend"] == "py"
+    assert info["native_available"] is False
+
+
+def test_native_request_raises_when_extension_missing(monkeypatch):
+    monkeypatch.setattr(kernels, "_NATIVE", (None, "forced-missing"))
+    monkeypatch.setenv("REPRO_KERNELS", "native")
+    with pytest.raises(RuntimeError, match="native extension is not available"):
+        select_backend()
+
+
+def test_invalid_env_value_is_rejected(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNELS", "turbo")
+    with pytest.raises(ValueError, match="invalid REPRO_KERNELS"):
+        select_backend()
+
+
+def test_explicit_override_beats_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNELS", "native" if not NATIVE_AVAILABLE else "py")
+    assert select_backend("py") == "py"
+
+
+# ---------------------------------------------------------------------------
+# SABRE scoring: native vs pure-Python bit identity.
+# ---------------------------------------------------------------------------
+
+
+@needs_native
+def test_scorer_backends_elementwise_identical():
+    """Random layouts/front layers: ids, costs and base cost all bit-equal."""
+    coupling_map = CouplingMap.grid_for(16)
+    py_scorer = make_scorer(coupling_map, "py")
+    native_scorer = make_scorer(coupling_map, "native")
+    rng = np.random.default_rng(0)
+    for _ in range(200):
+        layout = rng.permutation(16).astype(np.int64)
+        num_front = int(rng.integers(1, 5))
+        num_ext = int(rng.integers(0, 9))
+        pairs = [rng.choice(16, size=2, replace=False) for _ in range(num_front + num_ext)]
+        pair_qubits = np.array(
+            [p[0] for p in pairs] + [p[1] for p in pairs], dtype=np.int64
+        )
+        decay = 1.0 + 0.001 * rng.integers(0, 20, size=16).astype(float)
+        lookahead_weight = float(rng.choice([0.0, 0.5, 1.0]))
+        ids_py, costs_py, base_py = py_scorer(
+            layout, pair_qubits, num_front, num_ext, lookahead_weight, decay
+        )
+        ids_nat, costs_nat, base_nat = native_scorer(
+            layout, pair_qubits, num_front, num_ext, lookahead_weight, decay
+        )
+        assert ids_py == ids_nat
+        assert base_py == base_nat
+        np.testing.assert_array_equal(np.asarray(costs_py), np.asarray(costs_nat))
+
+
+@needs_native
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("mirroring", [False, True])
+def test_router_native_vs_py_bit_identical(monkeypatch, seed, mirroring):
+    circuit = random_two_qubit_circuit(9, 120, seed=seed)
+    for coupling_map in (
+        CouplingMap.grid_for(9),
+        CouplingMap.line(9),
+        CouplingMap.heavy_hex_for(9),
+    ):
+        monkeypatch.setenv("REPRO_KERNELS", "native")
+        native = SabreRouter(coupling_map, mirroring=mirroring).run(circuit)
+        monkeypatch.setenv("REPRO_KERNELS", "py")
+        fallback = SabreRouter(coupling_map, mirroring=mirroring).run(circuit)
+        assert circuits_bit_identical(native.circuit, fallback.circuit)
+        assert native.final_layout == fallback.final_layout
+        assert native.inserted_swaps == fallback.inserted_swaps
+        assert native.absorbed_swaps == fallback.absorbed_swaps
+
+
+def test_forced_fallback_matches_reference_router(monkeypatch):
+    """REPRO_KERNELS=py (the CI-pinned configuration) vs the frozen oracle."""
+    monkeypatch.setenv("REPRO_KERNELS", "py")
+    circuit = random_two_qubit_circuit(9, 100, seed=11)
+    coupling_map = CouplingMap.grid_for(9)
+    fast = SabreRouter(coupling_map, mirroring=True).run(circuit)
+    reference = ReferenceSabreRouter(coupling_map, mirroring=True).run(circuit)
+    assert circuits_bit_identical(fast.circuit, reference.circuit)
+    assert fast.final_layout == reference.final_layout
+
+
+def test_make_sabre_scorer_honours_explicit_backend():
+    coupling_map = CouplingMap.line(4)
+    scorer = make_sabre_scorer(coupling_map, backend="py")
+    layout = np.arange(4, dtype=np.int64)
+    pair_qubits = np.array([0, 1], dtype=np.int64)  # one front pair (0, 1)
+    ids, costs, base_cost = scorer(layout, pair_qubits, 1, 0, 0.5, np.ones(4))
+    assert ids == sorted(ids) and len(ids) > 0
+    assert len(costs) == len(ids)
+    assert base_cost > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Batched KAK.
+# ---------------------------------------------------------------------------
+
+
+def _kak_delta(a, b):
+    return max(
+        abs(a.global_phase - b.global_phase),
+        abs(a.x - b.x), abs(a.y - b.y), abs(a.z - b.z),
+        float(np.max(np.abs(a.l1 - b.l1))),
+        float(np.max(np.abs(a.l2 - b.l2))),
+        float(np.max(np.abs(a.r1 - b.r1))),
+        float(np.max(np.abs(a.r2 - b.r2))),
+    )
+
+
+def _kak_bit_identical(a, b):
+    return (
+        a.global_phase == b.global_phase
+        and (a.x, a.y, a.z) == (b.x, b.y, b.z)
+        and np.array_equal(a.l1, b.l1)
+        and np.array_equal(a.l2, b.l2)
+        and np.array_equal(a.r1, b.r1)
+        and np.array_equal(a.r2, b.r2)
+    )
+
+
+def _su4_samples(count, seed=5):
+    rng = np.random.default_rng(seed)
+    samples = [haar_random_su4(rng) for _ in range(count)]
+    # Include the structured corner cases batching must not disturb.
+    from repro.gates import standard
+
+    samples.append(np.asarray(standard.cx_gate().matrix, dtype=complex))
+    samples.append(np.asarray(standard.swap_gate().matrix, dtype=complex))
+    samples.append(np.eye(4, dtype=complex))
+    return samples
+
+
+def test_batch_kak_agrees_with_scalar_within_1e12():
+    unitaries = _su4_samples(40)
+    scalar = [kak_decompose(u) for u in unitaries]
+    batch = kak_decompose_batch(unitaries)
+    worst = max(_kak_delta(a, b) for a, b in zip(scalar, batch))
+    assert worst <= 1e-12
+    for u, record in zip(unitaries, batch):
+        assert record.reconstruction_error(u) <= 1e-6
+
+
+def test_batch_kak_is_composition_independent():
+    """An item's result must not depend on which matrices share its batch."""
+    unitaries = _su4_samples(24)
+    full = kak_decompose_batch(unitaries)
+    onesies = [kak_decompose_batch([u])[0] for u in unitaries]
+    thirds = (
+        kak_decompose_batch(unitaries[:8])
+        + kak_decompose_batch(unitaries[8:16])
+        + kak_decompose_batch(unitaries[16:])
+    )
+    for a, b, c in zip(full, onesies, thirds):
+        assert _kak_bit_identical(a, b)
+        assert _kak_bit_identical(a, c)
+
+
+def test_batch_kak_interns_exact_duplicates():
+    from repro.kernels import batch_stats, reset_batch_stats
+
+    rng = np.random.default_rng(9)
+    base = [haar_random_su4(rng) for _ in range(4)]
+    unitaries = base + [base[0], base[2], base[0]]
+    reset_batch_stats()
+    results = kak_decompose_batch(unitaries)
+    stats = batch_stats()
+    assert stats["batches"] == 1
+    assert stats["inputs"] == 7
+    assert stats["unique"] == 4
+    assert stats["interned"] == 3
+    # Duplicates share the same decomposition object, not just equal values.
+    assert results[4] is results[0]
+    assert results[5] is results[2]
+    assert results[6] is results[0]
+
+
+def test_batch_kak_rejects_bad_shapes_and_nonunitary():
+    with pytest.raises(ValueError, match="4x4"):
+        kak_decompose_batch([np.eye(2, dtype=complex)])
+    with pytest.raises(ValueError, match="not unitary"):
+        kak_decompose_batch([np.ones((4, 4), dtype=complex)])
+    assert kak_decompose_batch([]) == []
+
+
+def test_weyl_reexports_batch_entry_point():
+    from repro.linalg.weyl import kak_decompose_batch as via_weyl
+
+    u = haar_random_su4(np.random.default_rng(2))
+    assert _kak_bit_identical(via_weyl([u])[0], kak_decompose_batch([u])[0])
+
+
+def test_two_qubit_batch_synthesis_is_composition_independent():
+    from repro.synthesis.two_qubit import two_qubit_to_can_circuits_batch
+
+    rng = np.random.default_rng(21)
+    unitaries = [haar_random_su4(rng) for _ in range(6)]
+    full = two_qubit_to_can_circuits_batch(unitaries)
+    split = (
+        two_qubit_to_can_circuits_batch(unitaries[:2])
+        + two_qubit_to_can_circuits_batch(unitaries[2:])
+    )
+    for a, b in zip(full, split):
+        assert circuits_bit_identical(a, b)
+    # Every synthesized circuit implements its unitary (up to global phase).
+    from repro.simulators.unitary import circuit_unitary
+
+    for u, circuit in zip(unitaries, full):
+        got = circuit_unitary(circuit)
+        phase = np.trace(got.conj().T @ u) / 4.0
+        phase = phase / abs(phase)
+        assert np.max(np.abs(phase * got - u)) < 1e-6
+
+
+# ---------------------------------------------------------------------------
+# apply_gate_sequence: bitwise-exact vs the per-gate fold.
+# ---------------------------------------------------------------------------
+
+
+def _random_operations(rng, num_qubits, count):
+    from repro.linalg.su2 import u3_matrix
+
+    operations = []
+    for _ in range(count):
+        if rng.random() < 0.4 or num_qubits == 1:
+            theta, phi, lam = rng.uniform(0.0, 2.0 * np.pi, 3)
+            operations.append(
+                (u3_matrix(float(theta), float(phi), float(lam)),
+                 (int(rng.integers(num_qubits)),))
+            )
+        else:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            operations.append((haar_random_su4(rng), (int(a), int(b))))
+    return operations
+
+
+@pytest.mark.parametrize("num_qubits", [1, 2, 3, 4, 5])
+def test_apply_gate_sequence_exact_on_vectors_and_matrices(num_qubits):
+    rng = np.random.default_rng(100 + num_qubits)
+    operations = _random_operations(rng, num_qubits, 24)
+    dim = 2**num_qubits
+    vec = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+    mat = np.eye(dim, dtype=complex)
+    for state in (vec, mat):
+        loop = state
+        for matrix, qubits in operations:
+            loop = apply_gate(loop, matrix, qubits, num_qubits)
+        seq = apply_gate_sequence(state, operations, num_qubits)
+        assert np.array_equal(loop, seq)  # bitwise, not approx
+
+
+def test_apply_gate_sequence_empty_and_shape_errors():
+    state = np.eye(4, dtype=complex)
+    assert apply_gate_sequence(state, [], 2) is state
+    with pytest.raises(ValueError, match="does not match"):
+        apply_gate_sequence(state, [(np.eye(4, dtype=complex), (0,))], 2)

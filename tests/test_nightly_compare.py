@@ -29,11 +29,28 @@ def report():
             {"name": "route.grid64.random2000", "wall_seconds": 0.25},
             {"name": "qasm.dump.medium", "wall_seconds": 0.001},
         ],
-        "routing": {"bit_identical": True},
+        "routing": {
+            "bit_identical": True,
+            "speedup": 8.0,
+            "baseline_seconds": 2.0,
+            "fast_seconds": 0.25,
+        },
         "equivalence": {"bit_identical": True},
-        "ir": {"bit_identical": True},
+        "ir": {
+            "bit_identical": True,
+            "speedup": 1.0,
+            "legacy_seconds": 0.1,
+            "ir_seconds": 0.1,
+        },
         "qasm": {"bit_identical": True, "mismatches": []},
         "serve": {"bit_identical": True, "mismatches": []},
+        "synth_batch": {
+            "bit_identical": True,
+            "mismatches": [],
+            "speedup": 4.0,
+            "scalar_seconds": 0.4,
+            "batch_seconds": 0.1,
+        },
     }
 
 
@@ -45,6 +62,20 @@ def test_self_check_fails_on_bit_identity_mismatch(compare_bench, report):
     report["qasm"]["bit_identical"] = False
     failures = compare_bench.self_check(report, "x")
     assert any("qasm" in f for f in failures)
+
+
+def test_self_check_fails_on_speedup_drift(compare_bench, report):
+    # A stored speedup must equal the ratio of its own operand timings; a
+    # hand-edited (or independently recomputed) number is caught here.
+    report["routing"]["speedup"] = 6.8
+    failures = compare_bench.self_check(report, "x")
+    assert any("routing.speedup drifted" in f for f in failures)
+
+
+def test_self_check_fails_on_missing_speedup_operands(compare_bench, report):
+    del report["synth_batch"]["scalar_seconds"]
+    failures = compare_bench.self_check(report, "x")
+    assert any("synth_batch is missing" in f for f in failures)
 
 
 def test_compare_identical_reports_pass(compare_bench, report):

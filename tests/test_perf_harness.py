@@ -68,6 +68,8 @@ def test_run_perf_schema_and_file(tmp_path):
         "qasm",
         "serve",
         "chaos",
+        "synth_batch",
+        "kernels",
         "cache",
     }
     assert report["routing"] is None  # route kind not selected
@@ -75,6 +77,8 @@ def test_run_perf_schema_and_file(tmp_path):
     assert report["incr"] is None  # incr kind not selected
     assert report["qasm"] is None  # qasm kind not selected
     assert report["serve"] is None  # serve kind not selected
+    assert report["synth_batch"] is None  # synth_batch kind not selected
+    assert report["kernels"]["backend"] in ("py", "native")
     for record in report["benchmarks"]:
         assert set(record) == _RECORD_KEYS
         assert record["wall_seconds"] >= 0.0
@@ -121,6 +125,36 @@ def test_bench_qasm_throughput_and_round_trip_gate():
     assert [record.name for record in records] == ["qasm.dump.tiny", "qasm.load.tiny"]
     assert all(record.kind == "qasm" for record in records)
     assert all(record.gates == section["gates"] for record in records)
+
+
+def test_bench_synth_batch_contracts_and_records():
+    from repro.perf.harness import bench_synth_batch, speedup_ratio
+
+    records, section = bench_synth_batch(count=24, seed=3, repeats=1, apply_ops=24)
+    assert section["bit_identical"] is True
+    assert section["mismatches"] == []
+    assert section["composition_independent"] is True
+    assert section["kak_max_delta"] <= section["kak_tolerance"]
+    assert 0.0 < section["interned_fraction"] < 1.0
+    assert section["unique"] + section["interned"] == section["count"] == 24
+    # The stored ratio is the one compare_bench.py re-derives on self-check.
+    assert section["speedup"] == speedup_ratio(
+        section["scalar_seconds"], section["batch_seconds"]
+    )
+    assert section["apply_speedup"] == speedup_ratio(
+        section["apply_loop_seconds"], section["apply_seq_seconds"]
+    )
+    names = [record.name for record in records]
+    assert len(names) == len(set(names))
+    assert all(name.startswith("synth.batch.") for name in names)
+    assert all(record.kind == "synth_batch" for record in records)
+
+
+def test_speedup_ratio_is_the_single_source():
+    from repro.perf.harness import speedup_ratio
+
+    assert speedup_ratio(2.0, 1.0) == 2.0
+    assert speedup_ratio(1.0, 0.0) == float("inf")
 
 
 def test_cli_perf_writes_bench_json(tmp_path, capsys):

@@ -6,10 +6,14 @@ Used by CI two ways:
 * ``compare_bench.py --self-check FRESH.json`` — validate one report:
   every bit-identity section present must be ``true`` (a routing /
   equivalence / IR / QASM-round-trip / serve-vs-sequential / batched-kernel
-  mismatch is a correctness bug), every stored ``speedup`` must equal the
-  ratio of the two wall-time fields it was computed from (the drift guard:
-  the harness computes each ratio exactly once, this check re-derives it),
-  and the schema must match the harness this checkout ships.
+  / uniform-calibration mismatch is a correctness bug), every stored
+  ``speedup`` must equal the ratio of the two wall-time fields it was
+  computed from (the drift guard: the harness computes each ratio exactly
+  once, this check re-derives it), every fidelity row's ``improvement``
+  must equal ``exp(max(logs) - distance_log)`` re-derived from its log-
+  fidelity operands and must be >= 1 (the portfolio guarantee: noise-aware
+  routing never scores worse than distance-only), and the schema must
+  match the harness this checkout ships.
 * ``compare_bench.py COMMITTED.json FRESH.json`` — the nightly gate:
   self-check the fresh report, **hard-fail** on schema drift between the
   two reports or on any bit-identity regression, and print an
@@ -32,6 +36,7 @@ from typing import Any, Dict, List, Tuple
 #: Report sections whose ``bit_identical`` flag gates the build.
 BIT_IDENTITY_SECTIONS = (
     "routing", "equivalence", "ir", "incr", "qasm", "serve", "chaos", "synth_batch",
+    "fidelity",
 )
 
 #: section -> (speedup field, numerator field, denominator field).  Each
@@ -88,6 +93,52 @@ def self_check(report: Dict[str, Any], label: str) -> List[str]:
             f"{label}: chaos soak failed (unrecovered={len(chaos.get('unrecovered', []))}, "
             f"hung_clients={chaos.get('hung_clients')})"
         )
+    failures.extend(_check_fidelity(report.get("fidelity"), label))
+    return failures
+
+
+def _check_fidelity(fidelity: Any, label: str) -> List[str]:
+    """The fidelity-family gate: re-derived ratios, and no regressions.
+
+    Every row's ``improvement`` is re-derived from its two log-fidelity
+    operands (same drift guard as the speedup fields), and the portfolio
+    guarantee is enforced as a hard failure: noise-aware routing scoring
+    *worse* than distance-only on any suite program means the
+    keep-the-better-result selection in ``compare_routing_strategies``
+    broke.
+    """
+    if fidelity is None:
+        return []
+    failures: List[str] = []
+    for row in fidelity.get("rows", []):
+        key = f"{row.get('benchmark')}@{row.get('preset')}"
+        stored = row.get("improvement")
+        noise_log = row.get("noise_log_fidelity")
+        distance_log = row.get("distance_log_fidelity")
+        if stored is None or noise_log is None or distance_log is None:
+            failures.append(
+                f"{label}: fidelity row {key} is missing one of "
+                "improvement/noise_log_fidelity/distance_log_fidelity"
+            )
+            continue
+        derived = math.exp(max(noise_log, distance_log) - distance_log)
+        if not math.isclose(stored, derived, rel_tol=1e-9):
+            failures.append(
+                f"{label}: fidelity row {key} improvement drifted: stored "
+                f"{stored!r} but exp(max(logs) - distance_log) = {derived!r}"
+            )
+        if stored < 1.0:
+            failures.append(
+                f"{label}: fidelity row {key} regressed: noise-aware routing "
+                f"scored worse than distance-only (improvement {stored!r})"
+            )
+    regressions = fidelity.get("regressions")
+    if regressions is None:
+        failures.append(f"{label}: fidelity section is missing 'regressions'")
+    elif regressions:
+        failures.append(
+            f"{label}: fidelity regressions recorded by the harness: {regressions}"
+        )
     return failures
 
 
@@ -137,6 +188,35 @@ def compare(
         advisories.append(
             f"{name}: {old_wall:.4f}s -> {new_wall:.4f}s ({ratio:.2f}x){marker}"
         )
+
+    # Fidelity-improvement drift per (benchmark, preset) is advisory: the
+    # >= 1 floor is the hard gate (in self_check); magnitude shifts track
+    # routing-heuristic changes worth eyeballing, not build breakage.
+    def fidelity_rows(report: Dict[str, Any]) -> Dict[Tuple[str, str], Dict[str, Any]]:
+        section = report.get("fidelity") or {}
+        return {
+            (row.get("benchmark"), row.get("preset")): row
+            for row in section.get("rows", [])
+        }
+
+    old_rows = fidelity_rows(committed)
+    new_rows = fidelity_rows(fresh)
+    for key in sorted(old_rows.keys() | new_rows.keys()):
+        name = f"fidelity {key[0]}@{key[1]}"
+        old = old_rows.get(key)
+        new = new_rows.get(key)
+        if old is None:
+            advisories.append(f"{name}: new row (no committed baseline)")
+            continue
+        if new is None:
+            advisories.append(f"{name}: missing from the fresh report")
+            continue
+        old_gain = float(old.get("improvement") or 0.0)
+        new_gain = float(new.get("improvement") or 0.0)
+        if not math.isclose(old_gain, new_gain, rel_tol=1e-9):
+            advisories.append(
+                f"{name}: improvement {old_gain:.6f} -> {new_gain:.6f}"
+            )
     return failures, advisories
 
 

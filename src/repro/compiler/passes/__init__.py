@@ -18,6 +18,7 @@ from repro.compiler.passes.hierarchical import (
 from repro.compiler.passes.mirror import MirrorNearIdentityPass
 from repro.compiler.passes.finalize import FinalizeToCanPass
 from repro.compiler.passes.route import SabreRoutingPass
+from repro.compiler.passes.schedule import GateSlot, Schedule, SchedulingPass, asap_schedule
 
 __all__ = [
     "CompilerPass",
@@ -36,4 +37,8 @@ __all__ = [
     "MirrorNearIdentityPass",
     "FinalizeToCanPass",
     "SabreRoutingPass",
+    "GateSlot",
+    "Schedule",
+    "SchedulingPass",
+    "asap_schedule",
 ]

@@ -50,12 +50,24 @@ class SabreRoutingPass(CompilerPass):
         seed: int = 0,
         lookahead_size: int = 20,
         lookahead_weight: float = 0.5,
+        noise_aware: bool = False,
+        calibration=None,
     ) -> None:
         self.coupling_map = coupling_map
         self.mirroring = mirroring
         self.seed = seed
         self.lookahead_size = lookahead_size
         self.lookahead_weight = lookahead_weight
+        # Noise-aware routing is a strict opt-in: with the default False the
+        # pass (and its memo key) is byte-identical to the pre-calibration
+        # behaviour.  When enabled it routes with BOTH the calibration-
+        # weighted scorer and the distance-only one and keeps whichever
+        # estimated fidelity is higher (see docs/noise.md), so it can never
+        # score worse than the baseline.
+        self.noise_aware = noise_aware
+        self.calibration = calibration
+        if noise_aware and calibration is None:
+            raise ValueError("noise_aware routing needs a calibrated target")
 
     def memo_config(self) -> Optional[str]:
         if self.coupling_map is None:
@@ -74,15 +86,22 @@ class SabreRoutingPass(CompilerPass):
                 sort_keys=True,
             ).encode("utf-8")
         ).hexdigest()
-        return (
+        config = (
             f"mirroring={self.mirroring};seed={self.seed};"
             f"lookahead={self.lookahead_size}:{self.lookahead_weight!r};"
             f"topology={topology}"
         )
+        if self.noise_aware:
+            # Only the opt-in path extends the key: noise_aware=False memo
+            # entries stay interchangeable with pre-calibration ones.
+            config += f";noise=1;cal={self.calibration.fingerprint()}"
+        return config
 
     def run_ir(self, ir: CircuitIR, properties: Dict[str, Any]) -> CircuitIR:
         if self.coupling_map is None:
             return ir
+        if self.noise_aware:
+            return self._run_noise_aware(ir, properties)
         router = SabreRouter(
             self.coupling_map,
             mirroring=self.mirroring,
@@ -95,5 +114,42 @@ class SabreRoutingPass(CompilerPass):
         properties["final_layout"] = routing.final_layout
         properties["inserted_swaps"] = routing.inserted_swaps
         properties["absorbed_swaps"] = routing.absorbed_swaps
+        ir.adopt(routing.circuit)
+        return ir
+
+    def _run_noise_aware(self, ir: CircuitIR, properties: Dict[str, Any]) -> CircuitIR:
+        model = self.calibration.routing_model(self.coupling_map)
+        common = dict(
+            mirroring=self.mirroring,
+            lookahead_size=self.lookahead_size,
+            lookahead_weight=self.lookahead_weight,
+            seed=self.seed,
+        )
+        graph = ir.dependency_graph()
+        distance_routing = SabreRouter(self.coupling_map, **common).run_graph(
+            graph, name=ir.name
+        )
+        try:
+            noise_routing = SabreRouter(
+                self.coupling_map, noise_model=model, **common
+            ).run_graph(graph, name=ir.name)
+        except RuntimeError:
+            # Weighted scoring failed to converge on this program; the
+            # distance-only result is always available as the floor.
+            noise_routing = distance_routing
+        distance_log = self.calibration.estimated_log_fidelity(distance_routing.circuit)
+        noise_log = self.calibration.estimated_log_fidelity(noise_routing.circuit)
+        if noise_log >= distance_log:
+            routing, strategy = noise_routing, "noise"
+        else:
+            routing, strategy = distance_routing, "distance"
+        properties["initial_layout"] = routing.initial_layout
+        properties["final_layout"] = routing.final_layout
+        properties["inserted_swaps"] = routing.inserted_swaps
+        properties["absorbed_swaps"] = routing.absorbed_swaps
+        properties["routing_strategy"] = strategy
+        properties["estimated_log_fidelity"] = max(noise_log, distance_log)
+        properties["noise_log_fidelity"] = noise_log
+        properties["distance_log_fidelity"] = distance_log
         ir.adopt(routing.circuit)
         return ir

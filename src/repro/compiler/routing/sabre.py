@@ -84,6 +84,7 @@ class SabreRouter:
         decay_increment: float = 0.001,
         decay_reset_interval: int = 5,
         seed: int = 0,
+        noise_model=None,
     ) -> None:
         self.coupling_map = coupling_map
         self.mirroring = mirroring
@@ -92,6 +93,10 @@ class SabreRouter:
         self.decay_increment = decay_increment
         self.decay_reset_interval = decay_reset_interval
         self.seed = seed
+        #: Optional :class:`~repro.compiler.routing.noise.NoiseRoutingModel`:
+        #: calibration-weighted distances + per-edge SWAP surcharge.  ``None``
+        #: keeps the historical distance-only scoring bit-for-bit.
+        self.noise_model = noise_model
 
     # ------------------------------------------------------------------
     def run(
@@ -145,7 +150,7 @@ class SabreRouter:
 
         neighbor_sets = self.coupling_map.neighbor_sets()
         edge_tuples = self.coupling_map.edge_tuples()
-        score_stall = make_sabre_scorer(self.coupling_map)
+        score_stall = make_sabre_scorer(self.coupling_map, noise=self.noise_model)
 
         instructions = graph.instructions
         succ_ptr = graph.succ_indptr.tolist()

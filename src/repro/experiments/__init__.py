@@ -13,6 +13,7 @@ from repro.experiments.figures import (
     fig14_ablation,
     fig15_fidelity,
     fig16_reliability,
+    fig17_noise_aware_routing,
 )
 from repro.experiments.common import format_rows
 
@@ -27,5 +28,6 @@ __all__ = [
     "fig14_ablation",
     "fig15_fidelity",
     "fig16_reliability",
+    "fig17_noise_aware_routing",
     "format_rows",
 ]

@@ -130,11 +130,31 @@ def backend_info() -> Dict[str, Any]:
     }
 
 
-def make_sabre_scorer(coupling_map, backend: Optional[str] = None):
+def make_sabre_scorer(coupling_map, backend: Optional[str] = None, noise=None):
     """Stall scorer bound to ``coupling_map`` on the selected backend.
 
     See :mod:`repro.kernels.sabre_score` for the scorer contract.  The
     backend is resolved per call (cheap — once per routing run), so the
-    environment override is honoured without reloads.
+    environment override is honoured without reloads.  ``noise`` (a
+    :class:`~repro.compiler.routing.noise.NoiseRoutingModel`) selects the
+    calibration-weighted scoring path; a stale native extension built before
+    ``score_stall_noise`` existed degrades to the pure-Python path under
+    ``auto`` and raises under an explicit ``native`` request.
     """
-    return make_scorer(coupling_map, select_backend(backend))
+    resolved = select_backend(backend)
+    if noise is not None and resolved == "native":
+        module = _native_module()
+        if not hasattr(module, "score_stall_noise"):
+            requested = (
+                backend
+                if backend is not None
+                else os.environ.get(_ENV_VAR, "auto").strip().lower() or "auto"
+            )
+            if requested == "native":
+                raise RuntimeError(
+                    "the repro.kernels native extension predates noise-aware "
+                    "scoring (no score_stall_noise); rebuild it with "
+                    f"'python setup.py build_ext --inplace' or set {_ENV_VAR}=py"
+                )
+            resolved = "py"
+    return make_scorer(coupling_map, resolved, noise=noise)

@@ -152,10 +152,156 @@ done:
     return result;
 }
 
+/* Calibration-weighted variant of score_stall.
+ *
+ * Identical control flow and float-operation order, with two differences
+ * mirroring repro.compiler.routing.noise:
+ *  - the distance matrix holds quantized *weighted* shortest-path lengths as
+ *    int64 (still exact in long long sums: entries stay below ~2**36);
+ *  - each candidate pays an int64 per-edge SWAP surcharge, added after the
+ *    lookahead term and before the decay multiply.  The base cost never
+ *    includes a penalty (it is the cost of *not* swapping).
+ * Under a uniform calibration every distance is exactly (1 << 20) times the
+ * hop count and every penalty is zero, so the costs are exact power-of-two
+ * multiples of score_stall's and candidate selection is bit-identical.
+ */
+static PyObject *
+score_stall_noise(PyObject *self, PyObject *args)
+{
+    Py_buffer layout, pair_qubits, edge_array, incident_ptr, incident_ids;
+    Py_buffer distance, penalty, decay, mark, ids_out, costs_out;
+    Py_ssize_t num_front, num_ext, num_physical;
+    double lookahead_weight;
+
+    if (!PyArg_ParseTuple(
+            args, "y*y*y*y*y*y*y*y*nnndw*w*w*:score_stall_noise",
+            &layout, &pair_qubits, &edge_array, &incident_ptr, &incident_ids,
+            &distance, &penalty, &decay, &num_front, &num_ext, &num_physical,
+            &lookahead_weight, &mark, &ids_out, &costs_out))
+        return NULL;
+
+    PyObject *result = NULL;
+    int64_t pp_stack[PP_STACK_SLOTS];
+    int64_t *pp = pp_stack;
+
+    const int64_t *lay = (const int64_t *)layout.buf;
+    const int64_t *pq = (const int64_t *)pair_qubits.buf;
+    const int64_t *edges = (const int64_t *)edge_array.buf;
+    const int64_t *iptr = (const int64_t *)incident_ptr.buf;
+    const int64_t *iids = (const int64_t *)incident_ids.buf;
+    const int64_t *dist = (const int64_t *)distance.buf;
+    const int64_t *pen = (const int64_t *)penalty.buf;
+    const double *dec = (const double *)decay.buf;
+    uint8_t *mk = (uint8_t *)mark.buf;
+    int64_t *ids = (int64_t *)ids_out.buf;
+    double *costs = (double *)costs_out.buf;
+
+    Py_ssize_t num_pairs = num_front + num_ext;
+    Py_ssize_t num_edges = mark.len; /* itemsize 1 */
+
+    if (num_front <= 0
+        || pair_qubits.len < (Py_ssize_t)(2 * num_pairs * sizeof(int64_t))
+        || incident_ptr.len < (Py_ssize_t)((num_physical + 1) * sizeof(int64_t))
+        || distance.len < (Py_ssize_t)(num_physical * num_physical * sizeof(int64_t))
+        || penalty.len < (Py_ssize_t)(num_edges * sizeof(int64_t))
+        || decay.len < (Py_ssize_t)(num_physical * sizeof(double))
+        || edge_array.len < (Py_ssize_t)(2 * num_edges * sizeof(int64_t))
+        || ids_out.len < (Py_ssize_t)(num_edges * sizeof(int64_t))
+        || costs_out.len < (Py_ssize_t)(num_edges * sizeof(double))) {
+        PyErr_SetString(PyExc_ValueError,
+                        "score_stall_noise: inconsistent buffer sizes");
+        goto done;
+    }
+
+    if (2 * num_pairs > PP_STACK_SLOTS) {
+        pp = (int64_t *)PyMem_Malloc(2 * num_pairs * sizeof(int64_t));
+        if (pp == NULL) {
+            PyErr_NoMemory();
+            goto done;
+        }
+    }
+    for (Py_ssize_t i = 0; i < 2 * num_pairs; i++)
+        pp[i] = lay[pq[i]];
+
+    /* Candidate edges incident to a front physical qubit, ascending. */
+    for (Py_ssize_t i = 0; i < num_front; i++) {
+        int64_t p = pp[i];
+        for (int64_t j = iptr[p]; j < iptr[p + 1]; j++)
+            mk[iids[j]] = 1;
+        p = pp[num_pairs + i];
+        for (int64_t j = iptr[p]; j < iptr[p + 1]; j++)
+            mk[iids[j]] = 1;
+    }
+    Py_ssize_t count = 0;
+    for (Py_ssize_t e = 0; e < num_edges; e++) {
+        if (mk[e]) {
+            ids[count++] = (int64_t)e;
+            mk[e] = 0;
+        }
+    }
+
+    long long base_front = 0, base_ext = 0;
+    for (Py_ssize_t i = 0; i < num_pairs; i++) {
+        int64_t d = dist[pp[i] * num_physical + pp[num_pairs + i]];
+        if (i < num_front)
+            base_front += d;
+        else
+            base_ext += d;
+    }
+    double base_cost = (double)base_front / (double)num_front;
+    if (num_ext)
+        base_cost += lookahead_weight * ((double)base_ext / (double)num_ext);
+
+    for (Py_ssize_t c = 0; c < count; c++) {
+        int64_t a = edges[2 * ids[c]];
+        int64_t b = edges[2 * ids[c] + 1];
+        long long sum_front = 0, sum_ext = 0;
+        for (Py_ssize_t i = 0; i < num_pairs; i++) {
+            int64_t p0 = pp[i];
+            int64_t p1 = pp[num_pairs + i];
+            p0 = (p0 == a) ? b : ((p0 == b) ? a : p0);
+            p1 = (p1 == a) ? b : ((p1 == b) ? a : p1);
+            int64_t d = dist[p0 * num_physical + p1];
+            if (i < num_front)
+                sum_front += d;
+            else
+                sum_ext += d;
+        }
+        double cost = (double)sum_front / (double)num_front;
+        if (num_ext)
+            cost += lookahead_weight * ((double)sum_ext / (double)num_ext);
+        cost += (double)pen[ids[c]];
+        double da = dec[a], db = dec[b];
+        cost *= (da > db) ? da : db;
+        costs[c] = cost;
+    }
+
+    result = Py_BuildValue("nd", count, base_cost);
+
+done:
+    if (pp != pp_stack)
+        PyMem_Free(pp);
+    PyBuffer_Release(&layout);
+    PyBuffer_Release(&pair_qubits);
+    PyBuffer_Release(&edge_array);
+    PyBuffer_Release(&incident_ptr);
+    PyBuffer_Release(&incident_ids);
+    PyBuffer_Release(&distance);
+    PyBuffer_Release(&penalty);
+    PyBuffer_Release(&decay);
+    PyBuffer_Release(&mark);
+    PyBuffer_Release(&ids_out);
+    PyBuffer_Release(&costs_out);
+    return result;
+}
+
 static PyMethodDef sabre_native_methods[] = {
     {"score_stall", score_stall, METH_VARARGS,
      "Evaluate one SABRE routing stall: candidate edge ids + heuristic costs.\n"
      "Returns (count, base_cost); ids/costs land in the caller's out buffers."},
+    {"score_stall_noise", score_stall_noise, METH_VARARGS,
+     "Calibration-weighted stall scoring: int64 weighted distances plus a\n"
+     "per-edge SWAP surcharge.  Same contract as score_stall."},
     {NULL, NULL, 0, NULL},
 };
 

@@ -20,6 +20,12 @@ Both backends are bit-identical: every sum is over small integer distances
 (exact in both int64 numpy reductions and C ``long long``), and the float
 arithmetic (``sum/F``, ``+ w*(sum/E)``, ``* max(decay)``) is performed in
 the same order with the same IEEE-754 double operations.
+
+Noise-aware scoring (see :mod:`repro.compiler.routing.noise`) reuses the
+same arithmetic over a *weighted* int64 distance matrix and adds a per-edge
+integer SWAP surcharge (``+ penalty[edge]``, applied after the lookahead
+term and before the decay multiply, never to the base cost).  The penalty is
+exact in both backends — an int64 cast to double below 2**53.
 """
 
 from __future__ import annotations
@@ -48,6 +54,7 @@ def score_stall_py(
     incident_edge_ids: List[List[int]],
     edge_array: np.ndarray,
     distance: np.ndarray,
+    penalty: Optional[np.ndarray] = None,
 ) -> Tuple[List[int], Optional[np.ndarray], float]:
     """Pure-numpy stall scoring (the reference arithmetic, verbatim).
 
@@ -87,18 +94,29 @@ def score_stall_py(
         costs = costs + lookahead_weight * (
             trial_distance[:, num_front:].sum(axis=1) / num_ext
         )
+    if penalty is not None:
+        costs = costs + penalty[ids]
     costs = costs * decay[cand].max(axis=1)
     return ids, costs, float(base_cost)
 
 
-def make_scorer(coupling_map, backend: str) -> Scorer:
+def make_scorer(coupling_map, backend: str, noise=None) -> Scorer:
     """Build a stall scorer bound to ``coupling_map`` for ``backend``.
 
     ``backend`` must be ``"py"`` or ``"native"`` (already resolved by
     :func:`repro.kernels.select_backend`); the native path raises
-    ``RuntimeError`` if the extension cannot be imported.
+    ``RuntimeError`` if the extension cannot be imported.  ``noise`` (a
+    :class:`~repro.compiler.routing.noise.NoiseRoutingModel`) swaps the
+    hop-count matrix for the calibration-weighted one and adds the per-edge
+    SWAP surcharge; ``None`` keeps the historical distance-only arithmetic
+    byte-for-byte.
     """
-    distance = coupling_map.distance_matrix()
+    if noise is not None:
+        distance = noise.distance
+        penalty = noise.swap_penalty
+    else:
+        distance = coupling_map.distance_matrix()
+        penalty = None
     edge_array = coupling_map.edge_array()
     if backend == "native":
         from repro.kernels import _native_module
@@ -112,6 +130,30 @@ def make_scorer(coupling_map, backend: str) -> Scorer:
         mark = np.zeros(num_edges, dtype=np.uint8)
         ids_out = np.empty(num_edges, dtype=np.int64)
         costs_out = np.empty(num_edges, dtype=np.float64)
+
+        if noise is not None:
+
+            def scorer(layout, pair_qubits, num_front, num_ext, lookahead_weight, decay):
+                count, base_cost = native.score_stall_noise(
+                    layout,
+                    pair_qubits,
+                    edge_array,
+                    incident_ptr,
+                    incident_ids,
+                    distance,
+                    penalty,
+                    decay,
+                    num_front,
+                    num_ext,
+                    num_physical,
+                    lookahead_weight,
+                    mark,
+                    ids_out,
+                    costs_out,
+                )
+                return ids_out[:count].tolist(), costs_out[:count], base_cost
+
+            return scorer
 
         def scorer(layout, pair_qubits, num_front, num_ext, lookahead_weight, decay):
             count, base_cost = native.score_stall(
@@ -147,6 +189,7 @@ def make_scorer(coupling_map, backend: str) -> Scorer:
             incident_edge_ids,
             edge_array,
             distance,
+            penalty,
         )
 
     return scorer

@@ -14,7 +14,13 @@ from repro.microarch.durations import (
     su4_duration_model,
 )
 from repro.microarch.scheme import GenAshNScheme, PulseProgram
-from repro.microarch.calibration import CalibrationModel, distinct_su4_report
+from repro.microarch.calibration import (
+    CalibrationData,
+    CalibrationError,
+    CalibrationModel,
+    EdgeCalibration,
+    distinct_su4_report,
+)
 
 __all__ = [
     "CouplingHamiltonian",
@@ -24,6 +30,9 @@ __all__ = [
     "su4_duration_model",
     "GenAshNScheme",
     "PulseProgram",
+    "CalibrationData",
+    "CalibrationError",
     "CalibrationModel",
+    "EdgeCalibration",
     "distinct_su4_report",
 ]

@@ -16,10 +16,10 @@ measurement methodology of the systems papers this repo tracks:
   the baseline, and the equivalence sweep re-checks that over the whole
   workload suite.
 
-Report schema (``schema = "repro-perf/7"``)::
+Report schema (``schema = "repro-perf/8"``)::
 
     {
-      "schema": "repro-perf/7",
+      "schema": "repro-perf/8",
       "created_unix": <float>,            # seconds since epoch
       "quick": <bool>,                    # quick mode (CI smoke) or full
       "seed": <int>,
@@ -99,6 +99,22 @@ Report schema (``schema = "repro-perf/7"``)::
         "composition_independent": bool,          # batch grouping can't perturb
         "bit_identical": bool,                    # all three kernel contracts
         "mismatches": [str, ...]},
+      "fidelity": {                       # noise-aware vs distance-only routing
+        "scale": str, "presets": [str, ...], "cases": int,
+        "rows": [                                 # one per (program, preset)
+          {"benchmark": str, "preset": str, "qubits": int, "input_gates": int,
+           "distance_log_fidelity": float, "noise_log_fidelity": float,
+           "distance_fidelity": float, "noise_fidelity": float,
+           "improvement": float,                  # exp(max(logs) - distance_log)
+           "strategy": "noise"|"distance",        # which routing was kept
+           "distance_swaps": int, "noise_swaps": int}],
+        "wins": int, "ties": int,                 # improvement > 1 / == 1
+        "regressions": [str, ...],                # rows with improvement < 1
+        "min_improvement": float, "geomean_improvement": float,
+        "distance_seconds": float,                # distance-only sweep
+        "portfolio_seconds": float,               # both-strategies sweep
+        "bit_identical": bool,                    # uniform calibration == distance
+        "mismatches": [str, ...]},
       "kernels": {...},                   # repro.kernels.backend_info()
       "cache": {"synthesis": {...} | None,        # CacheStats.as_dict()
                 "gate_matrix": {...}}             # matrix_cache_stats()
@@ -137,13 +153,14 @@ __all__ = [
     "bench_synthesize",
     "bench_synth_batch",
     "bench_simulate",
+    "bench_fidelity",
     "routing_equivalence",
     "run_perf",
     "speedup_ratio",
     "write_report",
 ]
 
-SCHEMA_VERSION = "repro-perf/7"
+SCHEMA_VERSION = "repro-perf/8"
 
 #: Workload categories exercised by the compile benchmark (a representative
 #: slice; the full suite is covered by the equivalence sweep).
@@ -1133,6 +1150,154 @@ def bench_simulate(num_qubits: int = 10, seed: int = 11, repeats: int = 3) -> Li
     ]
 
 
+def bench_fidelity(
+    scale: str = "tiny",
+    seed: int = 0,
+    repeats: int = 1,
+) -> Tuple[List[PerfRecord], Dict[str, Any]]:
+    """Noise-aware (portfolio) vs distance-only routing over the suite.
+
+    Every suite program is lowered to the CNOT ISA and routed on the three
+    calibrated presets (``xy-line-cal`` / ``xy-grid-cal`` / ``heavy-hex-cal``,
+    seeded heterogeneous devices) two ways: distance-only, and the
+    :func:`~repro.compiler.routing.noise.compare_routing_strategies`
+    portfolio.  The section reports per-row estimated fidelities and the
+    improvement ratio — which is >= 1 by construction, so ``regressions``
+    being non-empty is a hard harness bug, and CI gates on it.
+
+    The section's ``bit_identical`` verdict is the exact-uniform-reduction
+    property: re-routing every row with a *uniform* calibration must
+    reproduce the distance-only output bit for bit (see
+    ``docs/noise.md``).
+    """
+    from repro.circuits.depgraph import DependencyGraph
+    from repro.compiler.routing.noise import build_noise_model, compare_routing_strategies
+    from repro.compiler.routing.sabre import SabreRouter
+    from repro.experiments.common import reference_cnot_circuit
+    from repro.microarch.calibration import CalibrationData
+    from repro.target.target import resolve_target
+    from repro.workloads.suite import benchmark_suite
+
+    presets = ("xy-line-cal", "xy-grid-cal", "heavy-hex-cal")
+    cases = benchmark_suite(scale=scale)
+    prepared = []
+    for case in cases:
+        lowered = reference_cnot_circuit(case.circuit)
+        graph = DependencyGraph.from_circuit(lowered)
+        for preset in presets:
+            target = resolve_target(preset, lowered.num_qubits)
+            target.coupling_map.distance_matrix()  # shared arrays, off the clock
+            target.calibration.routing_model(target.coupling_map)
+            prepared.append((case, preset, target, graph, lowered))
+
+    def route_distance_all():
+        return [
+            SabreRouter(target.coupling_map, mirroring=True, seed=seed).run_graph(
+                graph, name=case.name
+            )
+            for case, _, target, graph, _ in prepared
+        ]
+
+    def route_portfolio_all():
+        return [
+            compare_routing_strategies(graph, target, seed=seed, name=case.name)
+            for case, _, target, graph, _ in prepared
+        ]
+
+    distance_best, distance_mean, distance_results = _time(route_distance_all, repeats)
+    portfolio_best, portfolio_mean, comparisons = _time(route_portfolio_all, repeats)
+
+    rows: List[Dict[str, Any]] = []
+    regressions: List[str] = []
+    mismatches: List[str] = []
+    wins = ties = 0
+    log_improvements: List[float] = []
+    for (case, preset, target, graph, lowered), comparison in zip(prepared, comparisons):
+        key = f"{case.name}@{preset}"
+        improvement = comparison.improvement
+        if improvement > 1.0:
+            wins += 1
+        elif improvement == 1.0:
+            ties += 1
+        else:
+            regressions.append(key)
+        log_improvements.append(
+            max(comparison.noise_log_fidelity, comparison.distance_log_fidelity)
+            - comparison.distance_log_fidelity
+        )
+        rows.append(
+            {
+                "benchmark": case.name,
+                "preset": preset,
+                "qubits": target.coupling_map.num_qubits,
+                "input_gates": len(lowered),
+                "distance_log_fidelity": comparison.distance_log_fidelity,
+                "noise_log_fidelity": comparison.noise_log_fidelity,
+                "distance_fidelity": float(np.exp(comparison.distance_log_fidelity)),
+                "noise_fidelity": float(np.exp(comparison.noise_log_fidelity)),
+                "improvement": improvement,
+                "strategy": comparison.strategy,
+                "distance_swaps": comparison.distance_result.inserted_swaps,
+                "noise_swaps": comparison.noise_result.inserted_swaps,
+            }
+        )
+        # Exact uniform reduction: a flat calibration must route bit-
+        # identically to the distance-only router (same seed, same params).
+        uniform_model = build_noise_model(
+            target.coupling_map, CalibrationData.uniform(target.coupling_map)
+        )
+        uniform_result = SabreRouter(
+            target.coupling_map, noise_model=uniform_model, mirroring=True, seed=seed
+        ).run_graph(graph, name=case.name)
+        baseline = comparison.distance_result
+        if not (
+            circuits_bit_identical(uniform_result.circuit, baseline.circuit)
+            and uniform_result.final_layout == baseline.final_layout
+            and uniform_result.inserted_swaps == baseline.inserted_swaps
+            and uniform_result.absorbed_swaps == baseline.absorbed_swaps
+        ):
+            mismatches.append(key)
+
+    records = [
+        PerfRecord(
+            name=f"fidelity.route.distance.{scale}",
+            kind="fidelity",
+            repeats=repeats,
+            wall_seconds=distance_best,
+            mean_seconds=distance_mean,
+            gates=sum(len(result.circuit) for result in distance_results),
+            extra={"scale": scale, "presets": list(presets), "cases": len(cases)},
+        ),
+        PerfRecord(
+            name=f"fidelity.route.portfolio.{scale}",
+            kind="fidelity",
+            repeats=repeats,
+            wall_seconds=portfolio_best,
+            mean_seconds=portfolio_mean,
+            gates=sum(len(c.chosen.circuit) for c in comparisons),
+            extra={"scale": scale, "presets": list(presets), "cases": len(cases)},
+        ),
+    ]
+    section = {
+        "scale": scale,
+        "presets": list(presets),
+        "cases": len(cases),
+        "rows": rows,
+        "wins": wins,
+        "ties": ties,
+        "regressions": regressions,
+        "min_improvement": float(np.exp(min(log_improvements))) if log_improvements else 1.0,
+        "geomean_improvement": float(np.exp(np.mean(log_improvements)))
+        if log_improvements
+        else 1.0,
+        "distance_seconds": distance_best,
+        "portfolio_seconds": portfolio_best,
+        "bit_identical": not mismatches,
+        "mismatches": mismatches,
+    }
+    return records, section
+
+
 def routing_equivalence(scale: str = "tiny", mirroring: bool = True) -> Dict[str, Any]:
     """Fast-path vs reference routing over the full workload suite.
 
@@ -1185,14 +1350,14 @@ def run_perf(
     acceptance-scale routing benchmark (>=64 qubits, >=2000 gates, anchored
     baseline) runs in both modes.  ``kinds`` restricts to a subset of
     ``{"compile", "route", "incr", "ir", "qasm", "serve", "chaos",
-    "synthesize", "synth_batch", "simulate"}``.
+    "synthesize", "synth_batch", "simulate", "fidelity"}``.
     """
     from repro.gates.gate import matrix_cache_stats, reset_matrix_cache_stats
     from repro.kernels import backend_info
 
     all_kinds = {
         "compile", "route", "incr", "ir", "qasm", "serve", "chaos",
-        "synthesize", "synth_batch", "simulate",
+        "synthesize", "synth_batch", "simulate", "fidelity",
     }
     selected = set(kinds) if kinds else set(all_kinds)
     unknown = selected - all_kinds
@@ -1211,6 +1376,7 @@ def run_perf(
     chaos_section: Optional[Dict[str, Any]] = None
     incr_section: Optional[Dict[str, Any]] = None
     synth_batch_section: Optional[Dict[str, Any]] = None
+    fidelity_section: Optional[Dict[str, Any]] = None
 
     if "route" in selected:
         route_records, routing = bench_route(
@@ -1284,6 +1450,16 @@ def run_perf(
         records.extend(synth_batch_records)
     if "simulate" in selected:
         records.extend(bench_simulate(num_qubits=8 if quick else 10, repeats=repeats))
+    if "fidelity" in selected:
+        # The improvement >= 1 guarantee and the exact-uniform-reduction
+        # bit-identity check hold at full strength in both modes; quick mode
+        # only trims the suite scale and repeats (CI smoke).
+        fidelity_records, fidelity_section = bench_fidelity(
+            scale="tiny" if quick else "small",
+            seed=0,
+            repeats=1 if quick else 2,
+        )
+        records.extend(fidelity_records)
 
     return {
         "schema": SCHEMA_VERSION,
@@ -1304,6 +1480,7 @@ def run_perf(
         "serve": serve_section,
         "chaos": chaos_section,
         "synth_batch": synth_batch_section,
+        "fidelity": fidelity_section,
         "kernels": backend_info(),
         "cache": {
             "synthesis": synthesis_cache,

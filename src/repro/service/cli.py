@@ -555,7 +555,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         choices=(
             "compile", "route", "incr", "ir", "qasm", "serve", "chaos",
-            "synthesize", "synth_batch", "simulate",
+            "synthesize", "synth_batch", "simulate", "fidelity",
         ),
         help="restrict to one benchmark kind (repeatable; default: all)",
     )
@@ -977,16 +977,24 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_targets(args: argparse.Namespace) -> int:
-    from repro.target.target import target_presets
+    from repro.target.target import target_preset_info, target_presets
 
     presets = target_presets()
+    info = target_preset_info()
     if args.json:
-        print(json.dumps({"targets": presets}, indent=2))
+        # "targets" keeps its historical name->description shape; the
+        # calibration flags ride alongside so existing consumers don't break.
+        payload = {
+            "targets": presets,
+            "calibrated": {name: entry["calibrated"] for name, entry in info.items()},
+        }
+        print(json.dumps(payload, indent=2))
     else:
         width = max(len(name) for name in presets)
         print("target presets (use with --target; or pass a Target JSON file):")
         for name, description in presets.items():
-            print(f"  {name.ljust(width)}  {description}")
+            marker = "calibrated" if info[name]["calibrated"] else "          "
+            print(f"  {name.ljust(width)}  {marker}  {description}")
     return 0
 
 
@@ -1347,6 +1355,22 @@ def _cmd_perf(args: argparse.Namespace) -> int:
                 "{interned_fraction:.0%} interned), "
                 "apply-sequence {apply_speedup:.2f}x, "
                 "bit_identical={bit_identical}".format(**synth_batch)
+            )
+        fidelity_section = report.get("fidelity")
+        if fidelity_section:
+            print(
+                "fidelity: noise-aware routing {geomean_improvement:.3f}x geomean "
+                "estimated-fidelity gain over distance-only "
+                "({wins} wins, {ties} ties, {regressions} regressions over "
+                "{rows} rows), uniform bit_identical={bit_identical}".format(
+                    regressions=len(fidelity_section["regressions"]),
+                    rows=len(fidelity_section["rows"]),
+                    **{
+                        k: v
+                        for k, v in fidelity_section.items()
+                        if k not in ("regressions", "rows")
+                    },
+                )
             )
         kernels = report.get("kernels")
         if kernels:

@@ -25,6 +25,9 @@ _LAZY_EXPORTS = {
     "Target": "repro.target.target:Target",
     "resolve_target": "repro.target.target:resolve_target",
     "target_presets": "repro.target.target:target_presets",
+    "target_preset_info": "repro.target.target:target_preset_info",
+    "CalibrationData": "repro.microarch.calibration:CalibrationData",
+    "CalibrationError": "repro.microarch.calibration:CalibrationError",
     "PropertySet": "repro.target.properties:PropertySet",
     "PassContext": "repro.target.pipeline:PassContext",
     "PassRegistry": "repro.target.pipeline:PassRegistry",

@@ -272,12 +272,30 @@ def _make_mirror(config: Mapping[str, Any], context: PassContext) -> CompilerPas
 def _make_route(config: Mapping[str, Any], context: PassContext) -> CompilerPass:
     from repro.compiler.passes.route import SabreRoutingPass
 
+    noise_aware = bool(config.get("noise_aware", False))
     return SabreRoutingPass(
         coupling_map=context.target.coupling_map,
         mirroring=config.get("mirroring", True),
         seed=config.get("seed", context.seed),
         lookahead_size=config.get("lookahead_size", 20),
         lookahead_weight=config.get("lookahead_weight", 0.5),
+        noise_aware=noise_aware,
+        calibration=(
+            getattr(context.target, "calibration", None) if noise_aware else None
+        ),
+    )
+
+
+@PASS_REGISTRY.register(
+    "schedule",
+    description="ASAP scheduling against the target's duration model (docs/noise.md)",
+)
+def _make_schedule(config: Mapping[str, Any], context: PassContext) -> CompilerPass:
+    from repro.compiler.passes.schedule import SchedulingPass
+
+    return SchedulingPass(
+        target=context.target,
+        isa=config.get("isa"),
     )
 
 
@@ -327,12 +345,16 @@ def reqisc_pipeline(
     template_library: Optional[Any] = None,
     synthesizer: Optional[Any] = None,
     max_synthesis_blocks: Optional[int] = None,
+    noise_aware: bool = False,
     name: Optional[str] = None,
 ) -> PipelineSpec:
     """The end-to-end ReQISC (Regulus) pipeline of Section 5.4.1.
 
     ``mode="full"`` runs hierarchical synthesis; ``mode="eff"`` replaces it
     with plain SU(4) fusion to keep the distinct-gate count minimal.
+    ``noise_aware=True`` switches routing to the calibration-weighted
+    portfolio (needs a calibrated target; see docs/noise.md) — the default
+    keeps the stage config, and therefore every memo key, unchanged.
     """
     if mode not in ("full", "eff"):
         raise ValueError("mode must be 'full' or 'eff'")
@@ -356,9 +378,10 @@ def reqisc_pipeline(
     else:
         stages.append(PipelineStage("fuse_2q", {"form": "unitary"}))
     stages.append(PipelineStage("mirror", {"threshold": mirror_threshold}))
-    stages.append(
-        PipelineStage("route", {"mirroring": use_mirroring_sabre}, requires_topology=True)
-    )
+    route_config: Dict[str, Any] = {"mirroring": use_mirroring_sabre}
+    if noise_aware:
+        route_config["noise_aware"] = True
+    stages.append(PipelineStage("route", route_config, requires_topology=True))
     stages.append(PipelineStage("finalize"))
     return PipelineSpec(
         name=name or f"reqisc-{mode}",
@@ -441,6 +464,9 @@ _NAMED_PIPELINES: Dict[str, Callable[..., PipelineSpec]] = {
     ),
     "reqisc-sabre": lambda **kw: reqisc_pipeline(
         mode="eff", use_mirroring_sabre=False, name="reqisc-sabre", **kw
+    ),
+    "reqisc-noise": lambda **kw: reqisc_pipeline(
+        mode="eff", noise_aware=True, name="reqisc-noise", **kw
     ),
     "qiskit-like": lambda **kw: cnot_baseline_pipeline(name="qiskit-like", **kw),
     "tket-like": lambda **kw: cnot_baseline_pipeline(

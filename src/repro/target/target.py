@@ -29,10 +29,11 @@ from typing import Any, Callable, Dict, Optional, Tuple, Union
 from repro.circuits.instruction import Instruction
 from repro.circuits.metrics import BASELINE_CNOT_DURATION, cnot_isa_duration_model
 from repro.compiler.routing.coupling_map import CouplingMap
+from repro.microarch.calibration import CalibrationData
 from repro.microarch.durations import su4_duration_model
 from repro.microarch.hamiltonian import CouplingHamiltonian
 
-__all__ = ["Target", "resolve_target", "target_presets"]
+__all__ = ["Target", "resolve_target", "target_preset_info", "target_presets"]
 
 _ISAS = ("su4", "cnot")
 
@@ -50,10 +51,18 @@ class Target:
     #: Free-form extras (calibration ids, vendor metadata, ...), kept as a
     #: sorted tuple of pairs so the dataclass stays frozen.
     metadata: Tuple[Tuple[str, Any], ...] = ()
+    #: Measured device parameters (per-edge 2Q error/duration, per-qubit
+    #: 1Q/readout error), consumed by noise-aware routing and scheduling.
+    #: ``None`` means an idealized device.  See docs/noise.md.
+    calibration: Optional[CalibrationData] = None
 
     def __post_init__(self) -> None:
         if self.isa not in _ISAS:
             raise ValueError(f"isa must be one of {_ISAS}, got {self.isa!r}")
+        if self.calibration is not None:
+            if self.coupling_map is None:
+                raise ValueError("a calibrated target needs a coupling_map")
+            self.calibration.validate_against(self.coupling_map)
         if not self.name:
             object.__setattr__(self, "name", self._derived_name())
         if isinstance(self.metadata, dict):
@@ -74,9 +83,10 @@ class Target:
     def _derived_name(self) -> str:
         if self.coupling_map is None:
             return self.coupling.label
+        suffix = "-cal" if self.calibration is not None else ""
         return (
             f"{self.coupling.label}-{self.coupling_map.name}-"
-            f"{self.coupling_map.num_qubits}"
+            f"{self.coupling_map.num_qubits}{suffix}"
         )
 
     # -- views ---------------------------------------------------------------
@@ -213,12 +223,16 @@ class Target:
             "one_qubit_duration": self.one_qubit_duration,
             "cnot_duration": self.cnot_duration,
             "metadata": dict(self.metadata),
+            "calibration": (
+                self.calibration.to_dict() if self.calibration is not None else None
+            ),
         }
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "Target":
         """Rebuild a target from its :meth:`to_dict` payload."""
         coupling_map = payload.get("coupling_map")
+        calibration = payload.get("calibration")
         return cls(
             coupling=CouplingHamiltonian.from_dict(payload["coupling"]),
             coupling_map=(
@@ -229,6 +243,9 @@ class Target:
             cnot_duration=float(payload.get("cnot_duration", BASELINE_CNOT_DURATION)),
             name=str(payload.get("name", "")),
             metadata=tuple(sorted(dict(payload.get("metadata", {})).items())),
+            calibration=(
+                CalibrationData.from_dict(calibration) if calibration is not None else None
+            ),
         )
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -265,12 +282,27 @@ _PRESET_DESCRIPTIONS = {
     "xy-grid": "XY-coupled near-square 2D grid (append -N for >= N qubits)",
     "heavy-hex": "XY-coupled heavy-hex lattice (append -N for >= N qubits)",
     "all-to-all": "XY-coupled fully connected device (append -N for a fixed size)",
+    "xy-line-cal": "xy-line with a seeded heterogeneous calibration (see docs/noise.md)",
+    "xy-grid-cal": "xy-grid with a seeded heterogeneous calibration",
+    "heavy-hex-cal": "heavy-hex with a seeded heterogeneous calibration",
 }
+
+# Seed salt per calibrated base: the same base at the same size always gets
+# the same device, but line/grid/heavy-hex devices of equal size differ.
+_CALIBRATED_PRESETS = {"xy-line-cal": 101, "xy-grid-cal": 202, "heavy-hex-cal": 303}
 
 
 def target_presets() -> Dict[str, str]:
     """Mapping of preset name to a one-line description."""
     return dict(_PRESET_DESCRIPTIONS)
+
+
+def target_preset_info() -> Dict[str, Dict[str, Any]]:
+    """Preset name -> {"description", "calibrated"} (drives ``repro targets``)."""
+    return {
+        name: {"description": text, "calibrated": name in _CALIBRATED_PRESETS}
+        for name, text in _PRESET_DESCRIPTIONS.items()
+    }
 
 
 def _split_preset(spec: str) -> Tuple[str, Optional[int]]:
@@ -301,20 +333,28 @@ def _build_preset(base: str, size: Optional[int]) -> Target:
     key = (base, size)
     target = _PRESET_CACHE.get(key)
     if target is None:
-        if base == "xy-line":
-            target = Target.xy_line(size)
-        elif base == "xy-grid":
-            target = Target(
-                coupling=CouplingHamiltonian.xy(1.0),
-                coupling_map=CouplingMap.grid_for(size),
-            )
-        elif base == "heavy-hex":
-            target = Target(
-                coupling=CouplingHamiltonian.xy(1.0),
-                coupling_map=CouplingMap.heavy_hex_for(size),
-            )
+        cal_seed = _CALIBRATED_PRESETS.get(base)
+        topo_base = base[: -len("-cal")] if cal_seed is not None else base
+        if topo_base == "xy-line":
+            coupling_map = CouplingMap.line(size)
+        elif topo_base == "xy-grid":
+            coupling_map = CouplingMap.grid_for(size)
+        elif topo_base == "heavy-hex":
+            coupling_map = CouplingMap.heavy_hex_for(size)
         else:
-            target = Target.all_to_all(size)
+            coupling_map = CouplingMap.all_to_all(size)
+        calibration = None
+        if cal_seed is not None:
+            # Deterministic per (base, device size): the committed fidelity
+            # benchmarks depend on these exact parameters.
+            calibration = CalibrationData.seeded(
+                coupling_map, seed=cal_seed + coupling_map.num_qubits
+            )
+        target = Target(
+            coupling=CouplingHamiltonian.xy(1.0),
+            coupling_map=coupling_map,
+            calibration=calibration,
+        )
         _PRESET_CACHE[key] = target
     return target
 

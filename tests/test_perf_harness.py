@@ -69,6 +69,7 @@ def test_run_perf_schema_and_file(tmp_path):
         "serve",
         "chaos",
         "synth_batch",
+        "fidelity",
         "kernels",
         "cache",
     }
@@ -78,6 +79,7 @@ def test_run_perf_schema_and_file(tmp_path):
     assert report["qasm"] is None  # qasm kind not selected
     assert report["serve"] is None  # serve kind not selected
     assert report["synth_batch"] is None  # synth_batch kind not selected
+    assert report["fidelity"] is None  # fidelity kind not selected
     assert report["kernels"]["backend"] in ("py", "native")
     for record in report["benchmarks"]:
         assert set(record) == _RECORD_KEYS

@@ -228,7 +228,7 @@ def test_pass_manager_returns_fresh_records_per_run():
 
 def test_named_pipelines_cover_every_compiler():
     assert set(pipeline_names()) == {
-        "reqisc-full", "reqisc-eff", "reqisc-nc", "reqisc-sabre",
+        "reqisc-full", "reqisc-eff", "reqisc-nc", "reqisc-sabre", "reqisc-noise",
         "qiskit-like", "tket-like", "qiskit-su4", "tket-su4", "bqskit-su4",
     }
     with pytest.raises(KeyError):
